@@ -1,0 +1,101 @@
+// Ablation: which parts of DICER matter?
+//
+//  - DICER-noBW: bandwidth-saturation detection removed (the DCP-QoS /
+//    Cook-style controller the related work section criticises).
+//  - DICER+MBA: the paper's future-work extension that throttles the BE
+//    class with MBA when the link saturates.
+//  - DICER-literal: resample_cooldown_periods = 0, the literal Listing 1
+//    driver that resamples on every saturated period.
+//  - DICER-noPhase: phase_threshold effectively infinite — no phase
+//    detection, resets driven by IPC only.
+//
+// Reported per variant over the 120-workload sample at 10 cores: HP SLO
+// conformance (80/90%), geomean EFU, geomean SUCI(SLO=90%, lambda=1), and
+// controller activity counters.
+#include <memory>
+
+#include "bench_common.hpp"
+#include "metrics/metrics.hpp"
+#include "policy/extensions.hpp"
+#include "policy/factory.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace dicer;
+
+std::unique_ptr<policy::Dicer> make_variant(const std::string& name) {
+  policy::DicerConfig cfg;
+  if (name == "DICER") return std::make_unique<policy::Dicer>(cfg);
+  if (name == "DICER-noBW") return std::make_unique<policy::DicerNoBw>(cfg);
+  if (name == "DICER+MBA") return std::make_unique<policy::DicerMba>();
+  if (name == "DICER-literal") {
+    cfg.resample_cooldown_periods = 0;
+    return std::make_unique<policy::Dicer>(cfg);
+  }
+  if (name == "DICER-noPhase") {
+    cfg.phase_threshold = 1e9;
+    return std::make_unique<policy::Dicer>(cfg);
+  }
+  throw std::invalid_argument("unknown variant " + name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchEnv env(argc, argv);
+  bench::print_header("Ablation: DICER variants (120 workloads, 10 cores)");
+
+  harness::ConsolidationConfig config;
+  config.cores_used = 10;
+  config.enable_mba = true;  // platform exposes MBA for the +MBA variant
+  const auto study = env.study(config);
+  const auto sample = env.sample(study);
+
+  const std::vector<std::string> variants = {
+      "DICER", "DICER-noBW", "DICER+MBA", "DICER-literal", "DICER-noPhase"};
+
+  util::TextTable t;
+  t.set_header({"variant", "SLO80 (%)", "SLO90 (%)", "EFU gmean",
+                "SUCI90 gmean", "samplings", "donations", "resets"});
+  util::CsvWriter csv(env.path("ablation_dicer.csv"));
+  csv.header({"variant", "slo80", "slo90", "efu", "suci90", "samplings",
+              "donations", "resets"});
+
+  const auto& catalog = sim::default_catalog();
+  for (const auto& vname : variants) {
+    std::vector<double> norms, efus, sucis;
+    std::uint64_t samplings = 0, donations = 0, resets = 0;
+    for (const auto& e : sample) {
+      auto pol = make_variant(vname);
+      const auto res = harness::run_consolidation(
+          catalog.by_name(e.spec.hp), catalog.by_name(e.spec.be), *pol,
+          config);
+      const double norm = res.hp_ipc / e.hp_alone_ipc;
+      const double efu = metrics::effective_utilisation(
+          res.ipc_pairs(e.hp_alone_ipc, e.be_alone_ipc));
+      norms.push_back(norm);
+      efus.push_back(efu);
+      sucis.push_back(
+          std::max(metrics::suci(norm >= 0.90, efu, 1.0), 1e-3));
+      samplings += pol->stats().samplings;
+      donations += pol->stats().way_donations;
+      resets += pol->stats().phase_resets + pol->stats().perf_resets;
+    }
+    const double slo80 = 100.0 * metrics::slo_conformance(norms, 0.80);
+    const double slo90 = 100.0 * metrics::slo_conformance(norms, 0.90);
+    const double efu_g = util::gmean(efus);
+    const double suci_g = util::gmean(sucis);
+    t.add_row(vname,
+              {slo80, slo90, efu_g, suci_g, static_cast<double>(samplings),
+               static_cast<double>(donations), static_cast<double>(resets)},
+              -1);
+    csv.row_labeled(vname, {slo80, slo90, efu_g, suci_g,
+                            static_cast<double>(samplings),
+                            static_cast<double>(donations),
+                            static_cast<double>(resets)});
+  }
+  t.print();
+  std::cout << "\nCSV: " << env.path("ablation_dicer.csv") << "\n";
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Micro benchmarks (google-benchmark): throughput of the substrate pieces.
+// These guard the "a 59x59 study finishes in about a minute" property the
+// figure benches depend on.
+#include <benchmark/benchmark.h>
+
+#include "harness/solo.hpp"
+#include "policy/dicer.hpp"
+#include "rdt/capability.hpp"
+#include "sim/cache/address_stream.hpp"
+#include "sim/cache/occupancy_model.hpp"
+#include "sim/cache/set_assoc_cache.hpp"
+#include "sim/core/catalog.hpp"
+#include "sim/machine.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dicer;
+
+void BM_MachineStep10Apps(benchmark::State& state) {
+  sim::Machine machine{sim::MachineConfig{}};
+  const auto& catalog = sim::default_catalog();
+  for (unsigned c = 0; c < 10; ++c) {
+    machine.attach(c, &catalog.at(c * 5));
+  }
+  for (auto _ : state) {
+    machine.step();
+    benchmark::DoNotOptimize(machine.telemetry(0).instructions);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MachineStep10Apps);
+
+void BM_MachineStepPartitioned(benchmark::State& state) {
+  sim::Machine machine{sim::MachineConfig{}};
+  const auto& catalog = sim::default_catalog();
+  for (unsigned c = 0; c < 10; ++c) {
+    machine.attach(c, &catalog.at(c * 5 + 1));
+  }
+  machine.set_fill_mask(0, sim::WayMask::high(19, 20));
+  for (unsigned c = 1; c < 10; ++c) {
+    machine.set_fill_mask(c, sim::WayMask::low(1));
+  }
+  for (auto _ : state) {
+    machine.step();
+    benchmark::DoNotOptimize(machine.telemetry(0).instructions);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MachineStepPartitioned);
+
+void BM_OccupancySolver(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<sim::WayMask> masks(n, sim::WayMask::full(20));
+  const auto regions = sim::decompose_regions(masks, 20, 1.25 * 1024 * 1024);
+  std::vector<sim::CacheDemand> demand(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    demand[i].reuse = {{0.5e9 + 0.1e9 * static_cast<double>(i),
+                        3e6 * static_cast<double>(i + 1)},
+                       {0.1e9, 20e6}};
+    demand[i].stream_bytes_per_sec = 0.05e9;
+  }
+  for (auto _ : state) {
+    auto occ = sim::solve_occupancy(regions, n, demand);
+    benchmark::DoNotOptimize(occ.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_OccupancySolver)->Arg(2)->Arg(10);
+
+void BM_TraceCacheAccess(benchmark::State& state) {
+  sim::CacheGeometry geom{1 << 20, 16, 64};  // 1 MB for hot loops
+  sim::SetAssocCache cache(geom, 2);
+  sim::WorkingSetStream stream(4 << 20, 0, util::Xoshiro256(1));
+  const auto mask = sim::WayMask::full(16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(stream.next(), 0, mask).hit);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TraceCacheAccess);
+
+void BM_MrcEval(benchmark::State& state) {
+  const auto mrc = sim::MissRatioCurve::double_knee(0.3, 3e6, 0.4, 2e7, 0.05);
+  double x = 0.0;
+  for (auto _ : state) {
+    x += 1e5;
+    if (x > 3e7) x = 0.0;
+    benchmark::DoNotOptimize(mrc.at(x));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MrcEval);
+
+void BM_SoloSteadyState(benchmark::State& state) {
+  const sim::MachineConfig mc;
+  const auto& app = sim::default_catalog().by_name("gcc_base3");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(harness::solo_steady_state(app, 20, mc).ipc);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SoloSteadyState);
+
+// Controller overhead: one full DICER monitoring decision (measure + state
+// machine) on a live consolidation. The paper's controller runs once per
+// second on a real server; here one act() costs microseconds.
+void BM_DicerAct(benchmark::State& state) {
+  sim::Machine machine{sim::MachineConfig{}};
+  const auto& catalog = sim::default_catalog();
+  machine.attach(0, &catalog.by_name("milc1"));
+  for (unsigned c = 1; c < 10; ++c) {
+    machine.attach(c, &catalog.by_name("gcc_base3"));
+  }
+  const auto cap = rdt::Capability::probe(machine);
+  rdt::CatController cat(machine, cap);
+  rdt::Monitor monitor(machine, cap);
+  policy::PolicyContext ctx;
+  ctx.machine = &machine;
+  ctx.cat = &cat;
+  ctx.monitor = &monitor;
+  ctx.hp_core = 0;
+  for (unsigned c = 1; c < 10; ++c) ctx.be_cores.push_back(c);
+  policy::Dicer dicer;
+  dicer.setup(ctx);
+  machine.run_for(1.0);
+  for (auto _ : state) {
+    dicer.act(ctx);
+    benchmark::DoNotOptimize(dicer.hp_ways());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DicerAct);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// Quickstart: consolidate one HP application with nine BE instances under
+// the three co-location policies from the paper (UM, CT, DICER) and compare
+// HP QoS and effective system utilisation.
+//
+//   ./quickstart [--hp milc1] [--be gcc_base3] [--cores 10]
+#include <cstdio>
+#include <iostream>
+
+#include "harness/consolidation.hpp"
+#include "harness/solo.hpp"
+#include "metrics/metrics.hpp"
+#include "policy/factory.hpp"
+#include "sim/core/catalog.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dicer;
+
+  const util::CliArgs args(argc, argv);
+  const std::string hp_name = args.get_or("hp", "milc1");
+  const std::string be_name = args.get_or("be", "gcc_base3");
+  const auto cores = static_cast<unsigned>(args.get_int("cores", 10));
+
+  const auto& catalog = sim::default_catalog();
+  const auto& hp = catalog.by_name(hp_name);
+  const auto& be = catalog.by_name(be_name);
+
+  harness::ConsolidationConfig config;
+  config.cores_used = cores;
+
+  // Solo references: every QoS metric is normalised to running alone with
+  // the full LLC (paper §4.1).
+  const auto hp_alone =
+      harness::solo_steady_state(hp, config.machine.llc.ways, config.machine);
+  const auto be_alone =
+      harness::solo_steady_state(be, config.machine.llc.ways, config.machine);
+
+  std::cout << "HP  " << hp.name << " (" << to_string(hp.app_class)
+            << "): IPC alone = " << hp_alone.ipc << ", solo run "
+            << hp_alone.time_sec << " s\n";
+  std::cout << "BEs " << be.name << " x" << (cores - 1) << " ("
+            << to_string(be.app_class)
+            << "): IPC alone = " << be_alone.ipc << "\n\n";
+
+  util::TextTable table;
+  table.set_header({"policy", "HP IPC", "HP slowdown", "HP norm", "BE norm",
+                    "EFU", "link rho", "window s"});
+  for (const std::string name : {"UM", "CT", "DICER"}) {
+    const auto policy = policy::make_policy(name);
+    const auto res = harness::run_consolidation(hp, be, *policy, config);
+    const auto pairs = res.ipc_pairs(hp_alone.ipc, be_alone.ipc);
+    table.add_row(name,
+                  {res.hp_ipc, metrics::slowdown(hp_alone.ipc, res.hp_ipc),
+                   res.hp_ipc / hp_alone.ipc, res.be_ipc_mean / be_alone.ipc,
+                   metrics::effective_utilisation(pairs),
+                   res.avg_link_utilisation, res.window_sec},
+                  3);
+  }
+  table.print();
+  return 0;
+}

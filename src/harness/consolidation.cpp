@@ -1,0 +1,102 @@
+#include "harness/consolidation.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "rdt/capability.hpp"
+
+namespace dicer::harness {
+
+std::vector<metrics::IpcPair> ConsolidationResult::ipc_pairs(
+    double hp_alone, double be_alone) const {
+  std::vector<metrics::IpcPair> pairs;
+  pairs.reserve(1 + be_ipcs.size());
+  pairs.push_back({hp_alone, hp_ipc});
+  for (double be : be_ipcs) pairs.push_back({be_alone, be});
+  return pairs;
+}
+
+ConsolidationResult run_consolidation(const sim::AppProfile& hp,
+                                      const sim::AppProfile& be,
+                                      policy::Policy& policy,
+                                      const ConsolidationConfig& config) {
+  if (config.cores_used < 2 || config.cores_used > config.machine.num_cores) {
+    throw std::invalid_argument(
+        "run_consolidation: cores_used must be in [2, machine cores]");
+  }
+
+  sim::Machine machine(config.machine);
+  const auto cap = rdt::Capability::probe(machine, config.enable_mba);
+  rdt::CatController cat(machine, cap);
+  rdt::Monitor monitor(machine, cap);
+  std::unique_ptr<rdt::MbaController> mba;
+  if (config.enable_mba) {
+    mba = std::make_unique<rdt::MbaController>(machine, cap);
+  }
+
+  policy::PolicyContext ctx;
+  ctx.machine = &machine;
+  ctx.cat = &cat;
+  ctx.monitor = &monitor;
+  ctx.mba = mba.get();
+  ctx.hp_core = 0;
+  for (unsigned c = 1; c < config.cores_used; ++c) ctx.be_cores.push_back(c);
+
+  machine.attach(ctx.hp_core, &hp);
+  for (unsigned c : ctx.be_cores) machine.attach(c, &be);
+
+  policy.setup(ctx);
+
+  // Drive the policy's control loop until everyone has completed at least
+  // one full run (paper §4.1) and the minimum window has elapsed, or the
+  // safety cap trips.
+  double rho_integral = 0.0;
+  double t_prev = machine.time_sec();
+  bool capped = false;
+  for (;;) {
+    const double interval =
+        std::max(policy.interval_sec(), config.machine.quantum_sec);
+    machine.run_for(interval);
+    rho_integral +=
+        std::min(machine.last_link_utilisation(), 1.0) *
+        (machine.time_sec() - t_prev);
+    t_prev = machine.time_sec();
+    policy.act(ctx);
+
+    const double t = machine.time_sec();
+    bool everyone_done = machine.telemetry(ctx.hp_core).completions > 0;
+    for (unsigned c : ctx.be_cores) {
+      everyone_done = everyone_done && machine.telemetry(c).completions > 0;
+    }
+    if (everyone_done && t >= config.min_window_sec) break;
+    if (t >= config.max_window_sec) {
+      capped = true;
+      break;
+    }
+  }
+  policy.teardown(ctx);
+
+  ConsolidationResult res;
+  res.policy = policy.name();
+  res.window_sec = machine.time_sec();
+  res.window_capped = capped;
+  const auto& hp_tel = machine.telemetry(ctx.hp_core);
+  res.hp_ipc = hp_tel.instructions / hp_tel.active_cycles;
+  res.hp_completions = hp_tel.completions;
+  double be_sum = 0.0;
+  for (unsigned c : ctx.be_cores) {
+    const auto& tel = machine.telemetry(c);
+    const double ipc = tel.instructions / tel.active_cycles;
+    res.be_ipcs.push_back(ipc);
+    be_sum += ipc;
+    res.be_completions += tel.completions;
+  }
+  res.be_ipc_mean =
+      res.be_ipcs.empty() ? 0.0
+                          : be_sum / static_cast<double>(res.be_ipcs.size());
+  res.avg_link_utilisation =
+      res.window_sec > 0.0 ? rho_integral / res.window_sec : 0.0;
+  return res;
+}
+
+}  // namespace dicer::harness

@@ -1,0 +1,164 @@
+#include "harness/sweep.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "metrics/metrics.hpp"
+#include "policy/factory.hpp"
+#include "util/csv.hpp"
+#include "util/log.hpp"
+
+namespace dicer::harness {
+
+namespace {
+
+std::string sweep_key(const sim::AppCatalog& catalog,
+                      const std::vector<BaselineEntry>& sample,
+                      const SweepConfig& config) {
+  // Order-sensitive FNV over the sample labels, policies and core counts,
+  // plus the machine geometry fields that shape results.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](const std::string& s) {
+    for (char c : s) {
+      h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+      h *= 0x100000001b3ULL;
+    }
+    h ^= 0xff;
+    h *= 0x100000001b3ULL;
+  };
+  for (const auto& e : sample) mix(e.spec.label());
+  for (const auto& p : config.policies) mix(p);
+  for (unsigned c : config.cores) mix(std::to_string(c));
+  char buf[256];
+  std::snprintf(buf, sizeof buf, "dicer-sweep-v4:%016llx:%016llx:%u:%g:%g:%g",
+                static_cast<unsigned long long>(catalog_fingerprint(catalog)),
+                static_cast<unsigned long long>(h),
+                config.base.machine.llc.ways,
+                config.base.machine.link.capacity_bytes_per_sec,
+                config.base.machine.quantum_sec, config.base.max_window_sec);
+  return buf;
+}
+
+std::vector<SweepRow> load_sweep(const std::string& path,
+                                 const std::string& key) {
+  std::ifstream in(path);
+  if (!in) return {};
+  std::string line;
+  if (!std::getline(in, line) || line != "# " + key) {
+    DICER_INFO << "sweep cache " << path << " is stale; recomputing";
+    return {};
+  }
+  std::getline(in, line);  // header
+  std::vector<SweepRow> rows;
+  while (std::getline(in, line)) {
+    std::istringstream ss(line);
+    SweepRow r;
+    std::string cell;
+    auto next = [&]() {
+      if (!std::getline(ss, cell, ',')) {
+        throw std::runtime_error("sweep cache: truncated row in " + path);
+      }
+      return cell;
+    };
+    r.hp = next();
+    r.be = next();
+    r.policy = next();
+    r.cores = static_cast<unsigned>(std::stoul(next()));
+    r.ct_favoured = next() == "1";
+    r.hp_alone = std::stod(next());
+    r.be_alone = std::stod(next());
+    r.hp_ipc = std::stod(next());
+    r.be_ipc = std::stod(next());
+    r.efu = std::stod(next());
+    rows.push_back(std::move(r));
+  }
+  return rows;
+}
+
+void save_sweep(const std::string& path, const std::string& key,
+                const std::vector<SweepRow>& rows) {
+  std::ofstream out(path);
+  if (!out) {
+    DICER_WARN << "cannot write sweep cache " << path;
+    return;
+  }
+  out << "# " << key << "\n";
+  out << "hp,be,policy,cores,ctf,hp_alone,be_alone,hp_ipc,be_ipc,efu\n";
+  for (const auto& r : rows) {
+    out << r.hp << ',' << r.be << ',' << r.policy << ',' << r.cores << ','
+        << (r.ct_favoured ? 1 : 0) << ',' << util::fmt(r.hp_alone) << ','
+        << util::fmt(r.be_alone) << ',' << util::fmt(r.hp_ipc) << ','
+        << util::fmt(r.be_ipc) << ',' << util::fmt(r.efu) << "\n";
+  }
+}
+
+}  // namespace
+
+std::vector<SweepRow> policy_sweep(const sim::AppCatalog& catalog,
+                                   const std::vector<BaselineEntry>& sample,
+                                   const SweepConfig& config,
+                                   const std::string& cache_path,
+                                   bool force_recompute) {
+  const std::string key = sweep_key(catalog, sample, config);
+  if (!cache_path.empty() && !force_recompute) {
+    auto rows = load_sweep(cache_path, key);
+    const std::size_t expected =
+        sample.size() * config.policies.size() * config.cores.size();
+    if (rows.size() == expected) return rows;
+    if (!rows.empty()) {
+      DICER_WARN << "sweep cache row count mismatch; recomputing";
+    }
+  }
+
+  std::vector<SweepRow> rows;
+  rows.reserve(sample.size() * config.policies.size() * config.cores.size());
+  std::size_t done = 0;
+  const std::size_t total =
+      sample.size() * config.policies.size() * config.cores.size();
+  for (const auto& entry : sample) {
+    const auto& hp = catalog.by_name(entry.spec.hp);
+    const auto& be = catalog.by_name(entry.spec.be);
+    for (unsigned cores : config.cores) {
+      ConsolidationConfig cc = config.base;
+      cc.cores_used = cores;
+      for (const auto& pname : config.policies) {
+        const auto pol = policy::make_policy(pname);
+        const auto res = run_consolidation(hp, be, *pol, cc);
+
+        SweepRow r;
+        r.hp = entry.spec.hp;
+        r.be = entry.spec.be;
+        r.policy = pname;
+        r.cores = cores;
+        r.ct_favoured = entry.ct_favoured();
+        r.hp_alone = entry.hp_alone_ipc;
+        r.be_alone = entry.be_alone_ipc;
+        r.hp_ipc = res.hp_ipc;
+        r.be_ipc = res.be_ipc_mean;
+        r.efu = metrics::effective_utilisation(
+            res.ipc_pairs(r.hp_alone, r.be_alone));
+        rows.push_back(std::move(r));
+        if (++done % 200 == 0) {
+          DICER_INFO << "policy sweep: " << done << "/" << total;
+        }
+      }
+    }
+  }
+
+  if (!cache_path.empty()) save_sweep(cache_path, key, rows);
+  return rows;
+}
+
+std::vector<SweepRow> filter(const std::vector<SweepRow>& rows,
+                             const std::string& policy, unsigned cores) {
+  std::vector<SweepRow> out;
+  for (const auto& r : rows) {
+    if (r.policy == policy && r.cores == cores) out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace dicer::harness

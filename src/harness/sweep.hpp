@@ -1,0 +1,51 @@
+// Policy sweep: run a set of policies over the representative workload
+// sample across core counts — the shared computation behind Figs 5-8.
+//
+// Figures 6, 7 and 8 all plot the same 120-workload x {2..10 cores} x
+// {UM, CT, DICER} grid through different metrics, and Fig 5 is the
+// 10-core slice of it; the sweep runs once and is cached on disk so each
+// bench binary stays cheap and the figures stay mutually consistent.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/workloads.hpp"
+
+namespace dicer::harness {
+
+struct SweepRow {
+  std::string hp;
+  std::string be;
+  std::string policy;
+  unsigned cores = 0;
+  bool ct_favoured = false;   ///< class of the workload (from the study)
+  double hp_alone = 0.0;
+  double be_alone = 0.0;
+  double hp_ipc = 0.0;
+  double be_ipc = 0.0;        ///< mean across BE instances
+  double efu = 0.0;
+
+  double hp_norm() const { return hp_ipc / hp_alone; }
+  double be_norm() const { return be_ipc / be_alone; }
+};
+
+struct SweepConfig {
+  ConsolidationConfig base{};             ///< cores_used is overridden
+  std::vector<std::string> policies{"UM", "CT", "DICER"};
+  std::vector<unsigned> cores{2, 3, 4, 5, 6, 7, 8, 9, 10};
+};
+
+/// Run (or load from cache) the sweep over `sample`.
+std::vector<SweepRow> policy_sweep(const sim::AppCatalog& catalog,
+                                   const std::vector<BaselineEntry>& sample,
+                                   const SweepConfig& config,
+                                   const std::string& cache_path,
+                                   bool force_recompute = false);
+
+/// Rows matching a (policy, cores) cell.
+std::vector<SweepRow> filter(const std::vector<SweepRow>& rows,
+                             const std::string& policy, unsigned cores);
+
+}  // namespace dicer::harness

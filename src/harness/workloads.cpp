@@ -1,0 +1,278 @@
+#include "harness/workloads.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "harness/solo.hpp"
+#include "metrics/metrics.hpp"
+#include "policy/baselines.hpp"
+#include "util/csv.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace dicer::harness {
+
+std::uint64_t catalog_fingerprint(const sim::AppCatalog& catalog) {
+  // Content hash so recalibrated catalogs invalidate stale caches.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    h ^= bits;
+    h *= 0x100000001b3ULL;
+  };
+  for (const auto& a : catalog.profiles()) {
+    for (char c : a.name) {
+      h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+      h *= 0x100000001b3ULL;
+    }
+    mix(a.total_instructions());
+    mix(a.mean_api());
+    for (const auto& ph : a.phases) {
+      mix(ph.cpi_core);
+      mix(ph.mlp);
+      mix(ph.mrc.floor());
+      mix(ph.mrc.footprint_bytes());
+    }
+  }
+  return h;
+}
+
+namespace {
+
+/// Cache-file header key: invalidates the cache when the model geometry or
+/// catalog changes.
+std::string cache_key(const sim::AppCatalog& catalog,
+                      const ConsolidationConfig& config) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "dicer-baseline-v4:%016llx:%u:%u:%llu:%g:%g:%g:%g",
+                static_cast<unsigned long long>(catalog_fingerprint(catalog)),
+                config.cores_used, config.machine.llc.ways,
+                static_cast<unsigned long long>(config.machine.llc.size_bytes),
+                config.machine.link.capacity_bytes_per_sec,
+                config.machine.quantum_sec, config.min_window_sec,
+                config.max_window_sec);
+  return buf;
+}
+
+}  // namespace
+
+std::optional<BaselineStudy> load_baseline_cache(
+    const std::string& path, const sim::AppCatalog& catalog,
+    const ConsolidationConfig& config) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::string line;
+  if (!std::getline(in, line) || line != "# " + cache_key(catalog, config)) {
+    DICER_INFO << "baseline cache " << path << " is stale; recomputing";
+    return std::nullopt;
+  }
+  std::getline(in, line);  // column header
+  BaselineStudy study;
+  study.config = config;
+  while (std::getline(in, line)) {
+    std::istringstream ss(line);
+    BaselineEntry e;
+    std::string cell;
+    auto next = [&]() {
+      if (!std::getline(ss, cell, ',')) {
+        throw std::runtime_error("baseline cache: truncated row in " + path);
+      }
+      return cell;
+    };
+    e.spec.hp = next();
+    e.spec.be = next();
+    e.hp_alone_ipc = std::stod(next());
+    e.be_alone_ipc = std::stod(next());
+    e.um_hp_ipc = std::stod(next());
+    e.um_be_ipc = std::stod(next());
+    e.ct_hp_ipc = std::stod(next());
+    e.ct_be_ipc = std::stod(next());
+    e.um_efu = std::stod(next());
+    e.ct_efu = std::stod(next());
+    study.entries.push_back(std::move(e));
+  }
+  if (study.entries.size() != catalog.size() * catalog.size()) {
+    DICER_WARN << "baseline cache " << path << " has wrong row count";
+    return std::nullopt;
+  }
+  return study;
+}
+
+void save_baseline_cache(const std::string& path, const BaselineStudy& study,
+                         const sim::AppCatalog& catalog) {
+  std::ofstream out(path);
+  if (!out) {
+    DICER_WARN << "cannot write baseline cache " << path;
+    return;
+  }
+  out << "# " << cache_key(catalog, study.config) << "\n";
+  out << "hp,be,hp_alone,be_alone,um_hp,um_be,ct_hp,ct_be,um_efu,ct_efu\n";
+  for (const auto& e : study.entries) {
+    out << e.spec.hp << ',' << e.spec.be << ',' << util::fmt(e.hp_alone_ipc)
+        << ',' << util::fmt(e.be_alone_ipc) << ',' << util::fmt(e.um_hp_ipc)
+        << ',' << util::fmt(e.um_be_ipc) << ',' << util::fmt(e.ct_hp_ipc)
+        << ',' << util::fmt(e.ct_be_ipc) << ',' << util::fmt(e.um_efu) << ','
+        << util::fmt(e.ct_efu) << "\n";
+  }
+}
+
+namespace {
+
+double efu_of(double hp_alone, double hp, double be_alone, double be_mean,
+              std::size_t n_bes) {
+  std::vector<metrics::IpcPair> pairs;
+  pairs.push_back({hp_alone, hp});
+  for (std::size_t i = 0; i < n_bes; ++i) pairs.push_back({be_alone, be_mean});
+  return metrics::effective_utilisation(pairs);
+}
+
+}  // namespace
+
+std::size_t BaselineStudy::count_ct_favoured() const {
+  std::size_t n = 0;
+  for (const auto& e : entries) n += e.ct_favoured() ? 1u : 0u;
+  return n;
+}
+
+double BaselineStudy::fraction_ct_thwarted() const {
+  if (entries.empty()) return 0.0;
+  return 1.0 - static_cast<double>(count_ct_favoured()) /
+                   static_cast<double>(entries.size());
+}
+
+std::vector<WorkloadSpec> all_pairs(const sim::AppCatalog& catalog) {
+  std::vector<WorkloadSpec> pairs;
+  pairs.reserve(catalog.size() * catalog.size());
+  for (const auto& hp : catalog.profiles()) {
+    for (const auto& be : catalog.profiles()) {
+      pairs.push_back({hp.name, be.name});
+    }
+  }
+  return pairs;
+}
+
+BaselineStudy baseline_study(const sim::AppCatalog& catalog,
+                             const ConsolidationConfig& config,
+                             const std::string& cache_path,
+                             bool force_recompute) {
+  if (!cache_path.empty() && !force_recompute) {
+    if (auto cached = load_baseline_cache(cache_path, catalog, config)) {
+      return *std::move(cached);
+    }
+  }
+
+  // Solo IPCs once per app.
+  std::map<std::string, double> alone;
+  for (const auto& p : catalog.profiles()) {
+    alone[p.name] =
+        solo_steady_state(p, config.machine.llc.ways, config.machine).ipc;
+  }
+
+  BaselineStudy study;
+  study.config = config;
+  study.entries.reserve(catalog.size() * catalog.size());
+  const std::size_t n_bes = config.cores_used - 1;
+  std::size_t done = 0;
+  for (const auto& hp : catalog.profiles()) {
+    for (const auto& be : catalog.profiles()) {
+      BaselineEntry e;
+      e.spec = {hp.name, be.name};
+      e.hp_alone_ipc = alone[hp.name];
+      e.be_alone_ipc = alone[be.name];
+
+      policy::Unmanaged um;
+      const auto um_res = run_consolidation(hp, be, um, config);
+      e.um_hp_ipc = um_res.hp_ipc;
+      e.um_be_ipc = um_res.be_ipc_mean;
+      e.um_efu = efu_of(e.hp_alone_ipc, e.um_hp_ipc, e.be_alone_ipc,
+                        e.um_be_ipc, n_bes);
+
+      policy::CacheTakeover ct;
+      const auto ct_res = run_consolidation(hp, be, ct, config);
+      e.ct_hp_ipc = ct_res.hp_ipc;
+      e.ct_be_ipc = ct_res.be_ipc_mean;
+      e.ct_efu = efu_of(e.hp_alone_ipc, e.ct_hp_ipc, e.be_alone_ipc,
+                        e.ct_be_ipc, n_bes);
+
+      study.entries.push_back(std::move(e));
+      if (++done % 500 == 0) {
+        DICER_INFO << "baseline study: " << done << "/"
+                   << catalog.size() * catalog.size();
+      }
+    }
+  }
+
+  if (!cache_path.empty()) save_baseline_cache(cache_path, study, catalog);
+  return study;
+}
+
+std::vector<BaselineEntry> representative_sample(const BaselineStudy& study,
+                                                 std::size_t n_ctf,
+                                                 std::size_t n_ctt,
+                                                 std::uint64_t seed) {
+  std::vector<const BaselineEntry*> ctf, ctt;
+  for (const auto& e : study.entries) {
+    (e.ct_favoured() ? ctf : ctt).push_back(&e);
+  }
+
+  // Stratified pick: sort each class by UM slowdown and take evenly spaced
+  // entries, with a seeded jitter inside each stratum so different seeds
+  // give different (but still spread) samples.
+  auto pick = [seed](std::vector<const BaselineEntry*>& pool,
+                     std::size_t want) {
+    std::vector<const BaselineEntry*> out;
+    if (pool.empty() || want == 0) return out;
+    std::sort(pool.begin(), pool.end(),
+              [](const BaselineEntry* a, const BaselineEntry* b) {
+                if (a->um_slowdown() != b->um_slowdown()) {
+                  return a->um_slowdown() < b->um_slowdown();
+                }
+                return a->spec.label() < b->spec.label();
+              });
+    util::Xoshiro256 rng(seed ^ pool.size());
+    const double stride =
+        static_cast<double>(pool.size()) / static_cast<double>(want);
+    for (std::size_t i = 0; i < want; ++i) {
+      const double base = static_cast<double>(i) * stride;
+      const double jitter = rng.uniform() * stride;
+      const auto idx = std::min(
+          static_cast<std::size_t>(base + jitter), pool.size() - 1);
+      out.push_back(pool[idx]);
+    }
+    // De-duplicate (possible when want ~ pool size) keeping order.
+    std::vector<const BaselineEntry*> uniq;
+    for (const auto* e : out) {
+      if (uniq.empty() || std::find(uniq.begin(), uniq.end(), e) == uniq.end()) {
+        uniq.push_back(e);
+      }
+    }
+    // Top up with unused neighbours if deduplication lost entries.
+    for (const auto* e : pool) {
+      if (uniq.size() >= want) break;
+      if (std::find(uniq.begin(), uniq.end(), e) == uniq.end()) {
+        uniq.push_back(e);
+      }
+    }
+    return uniq;
+  };
+
+  std::vector<BaselineEntry> sample;
+  for (const auto* e : pick(ctf, n_ctf)) sample.push_back(*e);
+  for (const auto* e : pick(ctt, n_ctt)) sample.push_back(*e);
+  return sample;
+}
+
+std::string default_cache_dir() {
+  if (const char* dir = std::getenv("DICER_CACHE_DIR")) return dir;
+  return ".";
+}
+
+}  // namespace dicer::harness

@@ -1,0 +1,83 @@
+#include "policy/admission.hpp"
+
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace dicer::policy {
+
+DicerAdmission::DicerAdmission(const AdmissionConfig& config)
+    : Dicer(config.dicer), adm_(config) {
+  if (adm_.park_after_saturated_periods == 0 ||
+      adm_.readmit_after_quiet_periods == 0) {
+    throw std::invalid_argument("DicerAdmission: streak lengths must be > 0");
+  }
+  if (adm_.readmit_fraction <= 0.0 || adm_.readmit_fraction >= 1.0) {
+    throw std::invalid_argument(
+        "DicerAdmission: readmit_fraction outside (0, 1)");
+  }
+}
+
+void DicerAdmission::setup(PolicyContext& ctx) {
+  Dicer::setup(ctx);
+  running_ = ctx.be_cores;
+  parked_.clear();
+  saturated_streak_ = 0;
+  quiet_streak_ = 0;
+  parks_ = 0;
+  readmissions_ = 0;
+  be_profile_ = nullptr;
+  if (!ctx.be_cores.empty() && ctx.machine->occupied(ctx.be_cores.front())) {
+    be_profile_ = &ctx.machine->runtime(ctx.be_cores.front()).profile();
+  }
+}
+
+void DicerAdmission::park_one(PolicyContext& ctx) {
+  if (running_.size() <= adm_.min_running_bes) return;
+  const unsigned core = running_.back();
+  running_.pop_back();
+  parked_.push_back(core);
+  ctx.machine->detach(core);
+  ++parks_;
+  saturated_streak_ = 0;
+  DICER_DEBUG << "DICER+ADM: parked BE core " << core << " ("
+              << running_.size() << " still running)";
+}
+
+void DicerAdmission::readmit_one(PolicyContext& ctx) {
+  if (parked_.empty() || !be_profile_) return;
+  const unsigned core = parked_.back();
+  parked_.pop_back();
+  running_.push_back(core);
+  ctx.machine->attach(core, be_profile_);
+  ++readmissions_;
+  quiet_streak_ = 0;
+  DICER_DEBUG << "DICER+ADM: re-admitted BE core " << core;
+}
+
+void DicerAdmission::on_period(PolicyContext& ctx, double /*hp_ipc*/,
+                               double /*hp_bw*/, double total_bw) {
+  const double threshold = config().membw_threshold_bytes_per_sec;
+  if (total_bw > threshold) {
+    ++saturated_streak_;
+    quiet_streak_ = 0;
+    // Give cache partitioning the first shot (Dicer samples on the first
+    // saturated period); only park once saturation has survived a full
+    // sampling plus a few steady periods.
+    if (stats().samplings > 0 &&
+        saturated_streak_ >= adm_.park_after_saturated_periods) {
+      park_one(ctx);
+    }
+  } else if (total_bw < adm_.readmit_fraction * threshold) {
+    ++quiet_streak_;
+    saturated_streak_ = 0;
+    if (quiet_streak_ >= adm_.readmit_after_quiet_periods) {
+      readmit_one(ctx);
+    }
+  } else {
+    saturated_streak_ = 0;
+    quiet_streak_ = 0;
+  }
+}
+
+}  // namespace dicer::policy

@@ -1,0 +1,70 @@
+// DICER+ADM — dynamic BE admission control, the paper's second future-work
+// item (§6: "we intend to extend DICER to dynamically manage the number of
+// co-located BEs").
+//
+// Cache partitioning alone cannot save the HP when the memory link stays
+// saturated at *every* allocation (the SxS corner of the workload space).
+// This extension parks BE cores — stops scheduling their application —
+// when repeated samplings end with the link still saturated, and
+// re-admits one parked BE after a sustained quiet spell. Parking goes
+// through the machine's attach/detach, i.e. it models descheduling the
+// BE process, exactly what a userspace consolidation manager would do.
+//
+// Still application-transparent: decisions use only MBM totals and the
+// DICER state machine's own signals; no IPC_alone or SLO target is known.
+#pragma once
+
+#include <vector>
+
+#include "policy/dicer.hpp"
+
+namespace dicer::policy {
+
+struct AdmissionConfig {
+  DicerConfig dicer{};
+  /// Park one BE when this many consecutive monitoring periods end
+  /// saturated even though a sampling already ran.
+  unsigned park_after_saturated_periods = 4;
+  /// Re-admit one BE after this many consecutive periods below
+  /// readmit_fraction * MemBW_threshold.
+  unsigned readmit_after_quiet_periods = 6;
+  double readmit_fraction = 0.60;
+  /// Never park below this many running BEs.
+  unsigned min_running_bes = 1;
+};
+
+class DicerAdmission final : public Dicer {
+ public:
+  explicit DicerAdmission(const AdmissionConfig& config = {});
+
+  std::string name() const override { return "DICER+ADM"; }
+  void setup(PolicyContext& ctx) override;
+
+  unsigned running_bes() const noexcept {
+    return static_cast<unsigned>(running_.size());
+  }
+  unsigned parked_bes() const noexcept {
+    return static_cast<unsigned>(parked_.size());
+  }
+  std::uint64_t parks() const noexcept { return parks_; }
+  std::uint64_t readmissions() const noexcept { return readmissions_; }
+
+ protected:
+  void on_period(PolicyContext& ctx, double hp_ipc, double hp_bw,
+                 double total_bw) override;
+
+ private:
+  void park_one(PolicyContext& ctx);
+  void readmit_one(PolicyContext& ctx);
+
+  AdmissionConfig adm_;
+  std::vector<unsigned> running_;  ///< BE cores currently executing
+  std::vector<unsigned> parked_;   ///< BE cores with their app descheduled
+  const sim::AppProfile* be_profile_ = nullptr;
+  unsigned saturated_streak_ = 0;
+  unsigned quiet_streak_ = 0;
+  std::uint64_t parks_ = 0;
+  std::uint64_t readmissions_ = 0;
+};
+
+}  // namespace dicer::policy

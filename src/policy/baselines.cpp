@@ -1,0 +1,32 @@
+#include "policy/baselines.hpp"
+
+namespace dicer::policy {
+
+void Unmanaged::setup(PolicyContext& ctx) {
+  associate_and_track(ctx);
+  const auto full = sim::WayMask::full(ctx.cat->num_ways());
+  ctx.cat->set_clos_mask(kHpClos, full);
+  ctx.cat->set_clos_mask(kBeClos, full);
+}
+
+void Unmanaged::act(PolicyContext& ctx) {
+  // Contention-unaware: never reacts; keep monitor baselines fresh so
+  // post-run statistics stay windowed sensibly.
+  ctx.monitor->poll_all();
+}
+
+void CacheTakeover::setup(PolicyContext& ctx) {
+  associate_and_track(ctx);
+  apply_split(ctx, ctx.cat->num_ways() - 1);
+}
+
+void CacheTakeover::act(PolicyContext& ctx) { ctx.monitor->poll_all(); }
+
+void StaticPartition::setup(PolicyContext& ctx) {
+  associate_and_track(ctx);
+  apply_split(ctx, hp_ways_);
+}
+
+void StaticPartition::act(PolicyContext& ctx) { ctx.monitor->poll_all(); }
+
+}  // namespace dicer::policy

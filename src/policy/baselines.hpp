@@ -1,0 +1,51 @@
+// The paper's two baseline co-location policies (§2.2) plus the static
+// partition used by the Fig 2/3 sweeps.
+#pragma once
+
+#include "policy/policy.hpp"
+
+namespace dicer::policy {
+
+/// Unmanaged (UM): "all applications are executed in a typical fashion,
+/// i.e., there is no control on sharing resources or any QoS enforcement."
+/// HP and BEs contend freely for the whole LLC and the memory link.
+class Unmanaged final : public Policy {
+ public:
+  std::string name() const override { return "UM"; }
+  void setup(PolicyContext& ctx) override;
+  double interval_sec() const override { return 5.0; }
+  void act(PolicyContext& ctx) override;
+};
+
+/// Cache-Takeover (CT): "conservatively allocates the maximum possible
+/// isolated portion of the LLC to HP, leaving the minimum possible LLC
+/// portion for all the BEs" — 19 of 20 ways to HP, 1 way shared by all BEs.
+class CacheTakeover final : public Policy {
+ public:
+  std::string name() const override { return "CT"; }
+  void setup(PolicyContext& ctx) override;
+  double interval_sec() const override { return 5.0; }
+  void act(PolicyContext& ctx) override;
+};
+
+/// Fixed split: `hp_ways` isolated ways to HP, the rest to the BEs.
+/// The Fig 3 sweep instantiates one of these per x-axis point; CT is the
+/// special case hp_ways == ways-1 and is kept separate for reporting.
+class StaticPartition final : public Policy {
+ public:
+  explicit StaticPartition(unsigned hp_ways) : hp_ways_(hp_ways) {}
+
+  std::string name() const override {
+    return "Static(" + std::to_string(hp_ways_) + ")";
+  }
+  void setup(PolicyContext& ctx) override;
+  double interval_sec() const override { return 5.0; }
+  void act(PolicyContext& ctx) override;
+
+  unsigned hp_ways() const noexcept { return hp_ways_; }
+
+ private:
+  unsigned hp_ways_;
+};
+
+}  // namespace dicer::policy

@@ -1,0 +1,145 @@
+// DICER — Diligent Cache Partitioning (§3, Listings 1-3).
+//
+// A dynamic cache-partitioning controller for one HP + N BEs:
+//
+//  * starts like CT (HP := ways-1, BEs := 1), assuming a CT-Favoured
+//    workload;
+//  * every monitoring period T it reads HP IPC, HP memory bandwidth and
+//    total memory bandwidth (CMT/MBM/perf via rdt::Monitor);
+//  * on memory-link saturation (total BW > MemBW_threshold) it
+//    reclassifies the workload CT-Thwarted and *samples* decreasing HP
+//    allocations, each held for a settle interval, keeping the one with
+//    the highest HP IPC (allocation_sampling, Listing 1);
+//  * otherwise it optimises: a phase change (Eq. 2 — HP bandwidth above
+//    (1+phase_threshold) x geomean of the last three periods) resets the
+//    allocation; stable IPC (Eq. 3, +-a) donates one HP way to the BEs;
+//    improved IPC holds; degraded IPC resets (Listing 2);
+//  * a reset returns to CT for CT-F workloads or to the last sampled
+//    optimum for CT-T, then validates that choice after one period
+//    (Listing 3).
+//
+// Paper parameter values (Table 1) are the defaults in DicerConfig.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "policy/policy.hpp"
+#include "util/stats.hpp"
+
+namespace dicer::policy {
+
+struct DicerConfig {
+  double period_sec = 1.0;            ///< monitoring period T (Table 1)
+  double membw_threshold_bytes_per_sec = 50e9 / 8.0;  ///< 50 Gbps (Table 1)
+  double phase_threshold = 0.30;      ///< Eq. 2 (Table 1)
+  double alpha = 0.05;                ///< Eq. 3 IPC stability band (Table 1)
+  unsigned bw_history_periods = 3;    ///< Eq. 2 geomean window
+
+  double sample_interval_sec = 0.25;  ///< settle time per sampled allocation
+  unsigned sample_stride = 2;         ///< ways step between samples
+  unsigned min_hp_ways = 1;
+  unsigned min_be_ways = 1;
+
+  /// Minimum periods between two samplings triggered purely by persistent
+  /// saturation (the paper's Listing 1 would resample every period while
+  /// the link stays saturated; a short cooldown keeps that from thrashing
+  /// when BEs saturate the link at *any* allocation). 0 restores the
+  /// literal listing; the ablation bench measures the difference.
+  unsigned resample_cooldown_periods = 5;
+
+  /// Disable the bandwidth-saturation detection path entirely (never
+  /// sample, always treat the workload as CT-Favoured). This degrades
+  /// DICER into a DCP-QoS/Cook-style controller — the related-work systems
+  /// the paper criticises for "lacking support for identifying and
+  /// mitigating memory bandwidth saturation" (§5). Ablation only.
+  bool bw_detection = true;
+};
+
+/// Counters describing what the controller did (for ablation benches and
+/// the controller-behaviour tests).
+struct DicerStats {
+  std::uint64_t periods = 0;
+  std::uint64_t samplings = 0;
+  std::uint64_t sampling_steps = 0;
+  std::uint64_t way_donations = 0;   ///< stable periods that shrank HP
+  std::uint64_t phase_resets = 0;
+  std::uint64_t perf_resets = 0;
+  std::uint64_t rollbacks = 0;       ///< CT-F validations that reverted
+};
+
+class Dicer : public Policy {
+ public:
+  explicit Dicer(const DicerConfig& config = {});
+
+  std::string name() const override { return "DICER"; }
+  void setup(PolicyContext& ctx) override;
+  double interval_sec() const override;
+  void act(PolicyContext& ctx) override;
+
+  const DicerConfig& config() const noexcept { return config_; }
+  const DicerStats& stats() const noexcept { return stats_; }
+
+  /// Current HP allocation in ways (observable for tests/telemetry).
+  unsigned hp_ways() const noexcept { return hp_ways_; }
+  bool ct_favoured() const noexcept { return ct_favoured_; }
+
+ protected:
+  /// Hook for extensions: called once per monitoring period with the fresh
+  /// measurements, before the DICER state machine acts. Default: no-op.
+  virtual void on_period(PolicyContext& ctx, double hp_ipc,
+                         double hp_bw_bytes_per_sec,
+                         double total_bw_bytes_per_sec);
+
+ private:
+  enum class State { kWarmup, kSteady, kSampling, kResetValidate };
+  enum class ResetKind { kCtFavoured, kCtThwarted };
+
+  struct PeriodSample {
+    double hp_ipc = 0.0;
+    double hp_bw = 0.0;
+    double total_bw = 0.0;
+  };
+
+  PeriodSample measure(PolicyContext& ctx);
+  bool bw_saturated(const PeriodSample& s) const;
+  bool phase_change(double hp_bw) const;      // Eq. 2
+  bool performance_stable(double ipc) const;  // Eq. 3
+  bool performance_better(double ipc, double reference) const;
+
+  void set_hp_ways(PolicyContext& ctx, unsigned hp_ways);
+  void start_sampling(PolicyContext& ctx);
+  void sampling_step(PolicyContext& ctx, const PeriodSample& s);
+  void steady_step(PolicyContext& ctx, const PeriodSample& s);
+  void allocation_reset(PolicyContext& ctx, double trigger_ipc);
+  void reset_validate_step(PolicyContext& ctx, const PeriodSample& s);
+
+  DicerConfig config_;
+  DicerStats stats_;
+
+  State state_ = State::kWarmup;
+  unsigned total_ways_ = 20;
+  unsigned hp_ways_ = 19;
+
+  bool ct_favoured_ = true;
+  unsigned optimal_hp_ways_ = 19;
+  double ipc_opt_ = 0.0;
+
+  double prev_ipc_ = 0.0;
+  util::RecentWindow hp_bw_history_;
+
+  // Sampling state.
+  std::vector<unsigned> sample_plan_;
+  std::size_t sample_index_ = 0;
+  unsigned best_sample_ways_ = 0;
+  double best_sample_ipc_ = -1.0;
+  std::uint64_t last_sampling_period_ = 0;
+
+  // Reset-validation state.
+  ResetKind reset_kind_ = ResetKind::kCtFavoured;
+  unsigned rollback_hp_ways_ = 19;
+  double trigger_ipc_ = 0.0;
+};
+
+}  // namespace dicer::policy

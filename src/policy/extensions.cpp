@@ -1,0 +1,46 @@
+#include "policy/extensions.hpp"
+
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace dicer::policy {
+
+DicerMba::DicerMba(const DicerMbaConfig& config)
+    : Dicer(config.dicer), mba_config_(config) {
+  if (mba_config_.release_fraction <= 0.0 ||
+      mba_config_.release_fraction >= 1.0) {
+    throw std::invalid_argument("DicerMba: release_fraction outside (0,1)");
+  }
+}
+
+void DicerMba::setup(PolicyContext& ctx) {
+  if (!ctx.mba) {
+    throw std::invalid_argument(
+        "DicerMba: platform has no MBA controller (probe the capability "
+        "with enable_mba=true)");
+  }
+  Dicer::setup(ctx);
+  be_throttle_pct_ = 100;
+  ctx.mba->set_clos_throttle(kBeClos, be_throttle_pct_);
+}
+
+void DicerMba::on_period(PolicyContext& ctx, double /*hp_ipc*/,
+                         double /*hp_bw*/, double total_bw) {
+  const double threshold = config().membw_threshold_bytes_per_sec;
+  const unsigned gran = 10;
+  unsigned next = be_throttle_pct_;
+  if (total_bw > threshold && be_throttle_pct_ > mba_config_.min_throttle_pct) {
+    next = be_throttle_pct_ - gran;
+  } else if (total_bw < mba_config_.release_fraction * threshold &&
+             be_throttle_pct_ < 100) {
+    next = be_throttle_pct_ + gran;
+  }
+  if (next != be_throttle_pct_) {
+    be_throttle_pct_ = next;
+    ctx.mba->set_clos_throttle(kBeClos, be_throttle_pct_);
+    DICER_DEBUG << "DICER+MBA: BE throttle -> " << be_throttle_pct_ << "%";
+  }
+}
+
+}  // namespace dicer::policy

@@ -1,0 +1,60 @@
+// DICER variants beyond the paper's core mechanism.
+//
+//  - DicerNoBw: DICER with the bandwidth-saturation path disabled — a
+//    stand-in for DCP-QoS [35] / Cook et al. [9], the dynamic partitioners
+//    the related-work section faults for ignoring the memory link. Used by
+//    the ablation bench to quantify how much of DICER's win comes from
+//    saturation handling.
+//
+//  - DicerMba: the paper's first future-work item (§6): "extending DICER
+//    to explicitly, dynamically control the memory bandwidth, using
+//    Intel's MBA". On top of the unmodified DICER state machine, a simple
+//    feedback loop throttles the BE class when the link saturates and
+//    releases the throttle when there is headroom, so BE miss storms stop
+//    reaching the HP through the memory system at all.
+#pragma once
+
+#include "policy/dicer.hpp"
+
+namespace dicer::policy {
+
+class DicerNoBw final : public Dicer {
+ public:
+  explicit DicerNoBw(DicerConfig config = {}) : Dicer(disable_bw(config)) {}
+
+  std::string name() const override { return "DICER-noBW"; }
+
+ private:
+  static DicerConfig disable_bw(DicerConfig c) {
+    c.bw_detection = false;
+    return c;
+  }
+};
+
+struct DicerMbaConfig {
+  DicerConfig dicer{};
+  /// Release the BE throttle one step when total traffic falls below this
+  /// fraction of the saturation threshold.
+  double release_fraction = 0.70;
+  unsigned min_throttle_pct = 10;  ///< MBA floor for the BE class
+};
+
+class DicerMba final : public Dicer {
+ public:
+  explicit DicerMba(const DicerMbaConfig& config = {});
+
+  std::string name() const override { return "DICER+MBA"; }
+  void setup(PolicyContext& ctx) override;
+
+  unsigned be_throttle_pct() const noexcept { return be_throttle_pct_; }
+
+ protected:
+  void on_period(PolicyContext& ctx, double hp_ipc, double hp_bw,
+                 double total_bw) override;
+
+ private:
+  DicerMbaConfig mba_config_;
+  unsigned be_throttle_pct_ = 100;
+};
+
+}  // namespace dicer::policy

@@ -1,0 +1,31 @@
+#include "policy/policy.hpp"
+
+#include <stdexcept>
+
+namespace dicer::policy {
+
+void associate_and_track(PolicyContext& ctx) {
+  if (!ctx.machine || !ctx.cat || !ctx.monitor) {
+    throw std::invalid_argument("PolicyContext: machine/cat/monitor required");
+  }
+  ctx.cat->associate(ctx.hp_core, kHpClos);
+  for (unsigned be : ctx.be_cores) ctx.cat->associate(be, kBeClos);
+  ctx.monitor->track(ctx.hp_core);
+  for (unsigned be : ctx.be_cores) ctx.monitor->track(be);
+  if (ctx.mba) {
+    ctx.mba->associate(ctx.hp_core, kHpClos);
+    for (unsigned be : ctx.be_cores) ctx.mba->associate(be, kBeClos);
+  }
+}
+
+void apply_split(PolicyContext& ctx, unsigned hp_ways) {
+  const unsigned total = ctx.cat->num_ways();
+  if (hp_ways < 1 || hp_ways >= total) {
+    throw std::invalid_argument("apply_split: hp_ways must be in [1, ways-1]");
+  }
+  const unsigned be_ways = total - hp_ways;
+  ctx.cat->set_clos_mask(kBeClos, sim::WayMask::low(be_ways));
+  ctx.cat->set_clos_mask(kHpClos, sim::WayMask::high(hp_ways, total));
+}
+
+}  // namespace dicer::policy

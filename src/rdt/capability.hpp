@@ -1,0 +1,48 @@
+// RDT capability discovery — the emulated counterpart of
+// pqos_cap_get() / pqos_l3ca_get() in intel-cmt-cat.
+//
+// The paper (§3.3) builds DICER on the Intel RDT Software Package v1.1.0 and
+// uses CMT (occupancy monitoring), CAT (way allocation) and MBM (bandwidth
+// monitoring); their server lacks MBA, so DICER proper never throttles
+// bandwidth. The emulation reports the same feature set by default and the
+// MBA bit can be switched on for the future-work extension policy.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/machine.hpp"
+
+namespace dicer::rdt {
+
+struct Capability {
+  // --- CAT (L3 Cache Allocation Technology) ---
+  bool cat_supported = true;
+  unsigned cat_ways = 20;          ///< capacity bitmask length
+  unsigned cat_num_clos = 16;      ///< classes of service (Broadwell: 16)
+  unsigned cat_min_ways = 1;       ///< minimum contiguous ways per mask
+
+  // --- CMT (Cache Monitoring Technology) ---
+  bool cmt_supported = true;
+  std::uint64_t llc_size_bytes = 25ull * 1024 * 1024;
+  unsigned num_rmids = 88;         ///< plenty for 10 cores
+
+  // --- MBM (Memory Bandwidth Monitoring) ---
+  bool mbm_supported = true;
+
+  // --- MBA (Memory Bandwidth Allocation) ---
+  bool mba_supported = false;      ///< matches the paper's server
+  unsigned mba_granularity_pct = 10;
+
+  /// Derive a capability record from a simulated machine (the analogue of
+  /// probing CPUID on real hardware).
+  static Capability probe(const sim::Machine& machine,
+                          bool enable_mba = false) {
+    Capability cap;
+    cap.cat_ways = machine.num_ways();
+    cap.llc_size_bytes = machine.config().llc.size_bytes;
+    cap.mba_supported = enable_mba;
+    return cap;
+  }
+};
+
+}  // namespace dicer::rdt

@@ -1,0 +1,73 @@
+#include "rdt/mba.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dicer::rdt {
+
+MbaController::MbaController(sim::Machine& machine,
+                             const Capability& capability)
+    : machine_(machine), cap_(capability) {
+  if (!cap_.mba_supported) {
+    throw std::runtime_error(
+        "MbaController: MBA not supported by platform (the paper's server "
+        "lacks it too; probe with enable_mba=true to emulate it)");
+  }
+  if (cap_.mba_granularity_pct == 0 || cap_.mba_granularity_pct > 100) {
+    throw std::invalid_argument("MbaController: bad MBA granularity");
+  }
+  throttle_pct_.assign(cap_.cat_num_clos, 100);
+  assoc_.assign(machine_.num_cores(), 0);
+}
+
+void MbaController::set_clos_throttle(unsigned clos, unsigned percent) {
+  if (clos >= throttle_pct_.size()) {
+    throw std::out_of_range("MbaController: CLOS out of range");
+  }
+  const unsigned gran = cap_.mba_granularity_pct;
+  unsigned quantised = percent / gran * gran;  // hardware rounds down
+  quantised = std::clamp(quantised, gran, 100u);
+  throttle_pct_[clos] = quantised;
+  for (unsigned core = 0; core < assoc_.size(); ++core) {
+    if (assoc_[core] == clos) apply(core);
+  }
+}
+
+unsigned MbaController::clos_throttle(unsigned clos) const {
+  if (clos >= throttle_pct_.size()) {
+    throw std::out_of_range("MbaController: CLOS out of range");
+  }
+  return throttle_pct_[clos];
+}
+
+void MbaController::associate(unsigned core, unsigned clos) {
+  if (core >= assoc_.size()) {
+    throw std::out_of_range("MbaController: core out of range");
+  }
+  if (clos >= throttle_pct_.size()) {
+    throw std::out_of_range("MbaController: CLOS out of range");
+  }
+  assoc_[core] = clos;
+  apply(core);
+}
+
+unsigned MbaController::clos_of(unsigned core) const {
+  if (core >= assoc_.size()) {
+    throw std::out_of_range("MbaController: core out of range");
+  }
+  return assoc_[core];
+}
+
+void MbaController::reset() {
+  std::fill(throttle_pct_.begin(), throttle_pct_.end(), 100u);
+  std::fill(assoc_.begin(), assoc_.end(), 0u);
+  for (unsigned core = 0; core < assoc_.size(); ++core) apply(core);
+}
+
+void MbaController::apply(unsigned core) {
+  machine_.set_mem_throttle(core,
+                            static_cast<double>(throttle_pct_[assoc_[core]]) /
+                                100.0);
+}
+
+}  // namespace dicer::rdt

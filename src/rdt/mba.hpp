@@ -1,0 +1,44 @@
+// MBA controller — emulated pqos_mba_set(). The paper's server lacks MBA
+// (§3.3), so core DICER never uses this; it exists for the future-work
+// extension (§6: "We are extending DICER to explicitly, dynamically control
+// the memory bandwidth, using Intel's MBA") implemented in
+// policy/dicer_mba.hpp.
+//
+// Real MBA exposes a per-CLOS throttle in coarse steps (10%..100%); we
+// keep the CLOS indirection and granularity quantisation.
+#pragma once
+
+#include <vector>
+
+#include "rdt/capability.hpp"
+#include "sim/machine.hpp"
+
+namespace dicer::rdt {
+
+class MbaController {
+ public:
+  /// Throws std::runtime_error if the capability lacks MBA.
+  MbaController(sim::Machine& machine, const Capability& capability);
+
+  /// Set a CLOS throttle percentage (quantised down to the granularity,
+  /// clamped to [granularity, 100]).
+  void set_clos_throttle(unsigned clos, unsigned percent);
+  unsigned clos_throttle(unsigned clos) const;
+
+  /// Associate a core with a CLOS for MBA purposes (hardware shares the
+  /// association with CAT; policies keep them in sync).
+  void associate(unsigned core, unsigned clos);
+  unsigned clos_of(unsigned core) const;
+
+  void reset();
+
+ private:
+  void apply(unsigned core);
+
+  sim::Machine& machine_;
+  Capability cap_;
+  std::vector<unsigned> throttle_pct_;  ///< per CLOS
+  std::vector<unsigned> assoc_;         ///< core -> CLOS
+};
+
+}  // namespace dicer::rdt

@@ -1,0 +1,78 @@
+#include "rdt/monitor.hpp"
+
+#include <stdexcept>
+
+namespace dicer::rdt {
+
+Monitor::Monitor(const sim::Machine& machine, const Capability& capability)
+    : machine_(machine), cap_(capability),
+      baselines_(machine.num_cores()) {
+  if (!cap_.cmt_supported || !cap_.mbm_supported) {
+    throw std::runtime_error("Monitor: CMT/MBM not supported by platform");
+  }
+}
+
+void Monitor::track(unsigned core) {
+  if (core >= baselines_.size()) {
+    throw std::out_of_range("Monitor::track: core out of range");
+  }
+  if (baselines_[core]) return;
+  std::size_t in_use = 0;
+  for (const auto& b : baselines_) in_use += b.has_value() ? 1u : 0u;
+  if (in_use >= cap_.num_rmids) {
+    throw std::runtime_error("Monitor::track: out of RMIDs");
+  }
+  const auto& tel = machine_.telemetry(core);
+  baselines_[core] = Baseline{machine_.time_sec(), tel.instructions,
+                              tel.active_cycles, tel.mem_bytes};
+}
+
+void Monitor::untrack(unsigned core) {
+  if (core >= baselines_.size()) {
+    throw std::out_of_range("Monitor::untrack: core out of range");
+  }
+  baselines_[core].reset();
+}
+
+bool Monitor::tracked(unsigned core) const {
+  if (core >= baselines_.size()) {
+    throw std::out_of_range("Monitor::tracked: core out of range");
+  }
+  return baselines_[core].has_value();
+}
+
+MonSample Monitor::sample_from(unsigned core, Baseline& base) {
+  const auto& tel = machine_.telemetry(core);
+  MonSample s;
+  s.interval_sec = machine_.time_sec() - base.time_sec;
+  s.llc_occupancy_bytes = tel.occupancy_bytes;
+  s.mbm_bytes = tel.mem_bytes - base.mem_bytes;
+  s.mbm_bytes_per_sec =
+      s.interval_sec > 0.0 ? s.mbm_bytes / s.interval_sec : 0.0;
+  s.instructions = tel.instructions - base.instructions;
+  s.cycles = tel.active_cycles - base.cycles;
+  s.ipc = s.cycles > 0.0 ? s.instructions / s.cycles : 0.0;
+  base = Baseline{machine_.time_sec(), tel.instructions, tel.active_cycles,
+                  tel.mem_bytes};
+  return s;
+}
+
+MonSample Monitor::poll(unsigned core) {
+  if (core >= baselines_.size() || !baselines_[core]) {
+    throw std::logic_error("Monitor::poll: core not tracked");
+  }
+  return sample_from(core, *baselines_[core]);
+}
+
+std::vector<std::pair<unsigned, MonSample>> Monitor::poll_all() {
+  std::vector<std::pair<unsigned, MonSample>> out;
+  last_total_ = 0.0;
+  for (unsigned core = 0; core < baselines_.size(); ++core) {
+    if (!baselines_[core]) continue;
+    out.emplace_back(core, sample_from(core, *baselines_[core]));
+    last_total_ += out.back().second.mbm_bytes_per_sec;
+  }
+  return out;
+}
+
+}  // namespace dicer::rdt

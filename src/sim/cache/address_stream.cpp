@@ -1,0 +1,62 @@
+#include "sim/cache/address_stream.hpp"
+
+#include <stdexcept>
+
+namespace dicer::sim {
+
+namespace {
+constexpr std::uint64_t kLine = 64;
+}
+
+WorkingSetStream::WorkingSetStream(std::uint64_t ws_bytes, std::uint64_t base,
+                                   util::Xoshiro256 rng)
+    : ws_bytes_(ws_bytes), base_(base), rng_(rng) {
+  if (ws_bytes_ < kLine) {
+    throw std::invalid_argument("WorkingSetStream: working set < one line");
+  }
+}
+
+std::uint64_t WorkingSetStream::next() {
+  const std::uint64_t lines = ws_bytes_ / kLine;
+  return base_ + rng_.below(lines) * kLine;
+}
+
+StreamingStream::StreamingStream(std::uint64_t region_bytes,
+                                 std::uint64_t stride, std::uint64_t base)
+    : region_bytes_(region_bytes), stride_(stride), base_(base) {
+  if (region_bytes_ < stride_ || stride_ == 0) {
+    throw std::invalid_argument("StreamingStream: bad region/stride");
+  }
+}
+
+std::uint64_t StreamingStream::next() {
+  const std::uint64_t addr = base_ + pos_;
+  pos_ += stride_;
+  if (pos_ >= region_bytes_) pos_ = 0;
+  return addr;
+}
+
+BimodalStream::BimodalStream(std::uint64_t hot_bytes, std::uint64_t cold_bytes,
+                             double hot_fraction, std::uint64_t base,
+                             util::Xoshiro256 rng)
+    : hot_(hot_bytes, base, rng.split()),
+      cold_(cold_bytes, base + (1ull << 40), rng.split()),
+      hot_fraction_(hot_fraction),
+      rng_(rng) {}
+
+std::uint64_t BimodalStream::next() {
+  return rng_.bernoulli(hot_fraction_) ? hot_.next() : cold_.next();
+}
+
+MixedStream::MixedStream(std::uint64_t ws_bytes, double reuse_fraction,
+                         std::uint64_t base, util::Xoshiro256 rng)
+    : reuse_(ws_bytes, base, rng.split()),
+      stream_(1ull << 32, kLine, base + (1ull << 41)),
+      reuse_fraction_(reuse_fraction),
+      rng_(rng) {}
+
+std::uint64_t MixedStream::next() {
+  return rng_.bernoulli(reuse_fraction_) ? reuse_.next() : stream_.next();
+}
+
+}  // namespace dicer::sim

@@ -1,0 +1,32 @@
+#include "sim/cache/mrc_profiler.hpp"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace dicer::sim {
+
+EmpiricalMrc profile_mrc(
+    const MrcProfilerConfig& config,
+    const std::function<std::unique_ptr<AddressStream>()>& make_stream) {
+  std::vector<std::pair<double, double>> points;
+  points.reserve(config.geometry.ways);
+  for (unsigned ways = 1; ways <= config.geometry.ways; ++ways) {
+    SetAssocCache cache(config.geometry, /*num_owners=*/1);
+    const WayMask mask = WayMask::low(ways);
+    auto stream = make_stream();
+    for (std::uint64_t i = 0; i < config.warmup_accesses; ++i) {
+      cache.access(stream->next(), 0, mask);
+    }
+    cache.reset_stats();
+    for (std::uint64_t i = 0; i < config.measure_accesses; ++i) {
+      cache.access(stream->next(), 0, mask);
+    }
+    const double bytes =
+        static_cast<double>(config.geometry.way_bytes()) * ways;
+    points.emplace_back(bytes, cache.stats(0).miss_ratio());
+  }
+  return EmpiricalMrc(std::move(points));
+}
+
+}  // namespace dicer::sim

@@ -1,0 +1,30 @@
+// MRC profiler: measures an empirical miss-ratio curve by replaying an
+// address stream through the trace-driven cache at every way count.
+// Used by validation tests and the micro benches to cross-check the
+// analytic hill-curve MRCs against true LRU behaviour.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "sim/cache/address_stream.hpp"
+#include "sim/cache/mrc.hpp"
+#include "sim/cache/set_assoc_cache.hpp"
+
+namespace dicer::sim {
+
+struct MrcProfilerConfig {
+  CacheGeometry geometry{};
+  std::uint64_t warmup_accesses = 200'000;   ///< discarded per way count
+  std::uint64_t measure_accesses = 400'000;  ///< counted per way count
+};
+
+/// Profile `make_stream` (a factory so each way count replays a fresh,
+/// identically-seeded stream) into an empirical MRC with one point per way
+/// count from 1..geometry.ways.
+EmpiricalMrc profile_mrc(
+    const MrcProfilerConfig& config,
+    const std::function<std::unique_ptr<AddressStream>()>& make_stream);
+
+}  // namespace dicer::sim

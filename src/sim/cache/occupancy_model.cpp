@@ -1,0 +1,114 @@
+#include "sim/cache/occupancy_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+namespace dicer::sim {
+
+std::vector<CacheRegion> decompose_regions(const std::vector<WayMask>& masks,
+                                           unsigned total_ways,
+                                           double way_bytes) {
+  // Group ways by the exact set of apps eligible to fill them. Encode the
+  // sharer set as a bitmask over apps (supports up to 64 apps; the machine
+  // has at most 10 cores).
+  if (masks.size() > 64) {
+    throw std::invalid_argument("decompose_regions: more than 64 apps");
+  }
+  std::map<std::uint64_t, unsigned> ways_by_sharerset;
+  for (unsigned w = 0; w < total_ways; ++w) {
+    std::uint64_t sharers = 0;
+    for (std::size_t a = 0; a < masks.size(); ++a) {
+      if (masks[a].test(w)) sharers |= (1ull << a);
+    }
+    if (sharers) ++ways_by_sharerset[sharers];
+  }
+
+  std::vector<CacheRegion> regions;
+  regions.reserve(ways_by_sharerset.size());
+  for (const auto& [sharerset, ways] : ways_by_sharerset) {
+    CacheRegion r;
+    r.capacity_bytes = way_bytes * ways;
+    for (std::size_t a = 0; a < masks.size(); ++a) {
+      if (sharerset & (1ull << a)) r.sharers.push_back(a);
+    }
+    regions.push_back(std::move(r));
+  }
+  return regions;
+}
+
+namespace {
+
+/// Occupancy of one app inside one region at characteristic time `t`,
+/// with its demand scaled by `fraction` (its share of rates directed at
+/// this region).
+double occupancy_at(const CacheDemand& d, double fraction, double t) noexcept {
+  double occ = d.stream_bytes_per_sec * fraction * t;
+  for (const auto& c : d.reuse) {
+    occ += std::min(c.rate_bytes_per_sec * fraction * t,
+                    c.footprint_bytes * fraction);
+  }
+  return occ;
+}
+
+}  // namespace
+
+std::vector<double> solve_occupancy(const std::vector<CacheRegion>& regions,
+                                    std::size_t num_apps,
+                                    const std::vector<CacheDemand>& demand,
+                                    const OccupancySolverConfig& config) {
+  if (demand.size() != num_apps) {
+    throw std::invalid_argument("solve_occupancy: demand size mismatch");
+  }
+  std::vector<double> occ(num_apps, 0.0);
+
+  // An app eligible for several regions splits its rates proportionally to
+  // region capacity.
+  std::vector<double> avail(num_apps, 0.0);
+  for (const auto& r : regions) {
+    for (std::size_t a : r.sharers) avail[a] += r.capacity_bytes;
+  }
+
+  for (const auto& r : regions) {
+    if (r.sharers.empty() || r.capacity_bytes <= 0.0) continue;
+
+    // Demand fractions for this region.
+    std::vector<double> frac(r.sharers.size(), 0.0);
+    for (std::size_t k = 0; k < r.sharers.size(); ++k) {
+      const std::size_t a = r.sharers[k];
+      frac[k] = avail[a] > 0.0 ? r.capacity_bytes / avail[a] : 0.0;
+    }
+
+    auto total_at = [&](double t) {
+      double sum = 0.0;
+      for (std::size_t k = 0; k < r.sharers.size(); ++k) {
+        sum += occupancy_at(demand[r.sharers[k]], frac[k], t);
+      }
+      return sum;
+    };
+
+    const double t_max = config.max_characteristic_time_sec;
+    double t_c;
+    if (total_at(t_max) <= r.capacity_bytes) {
+      // The region never fills: every sharer keeps its full (scaled)
+      // footprint plus its entire streaming window.
+      t_c = t_max;
+    } else {
+      double lo = 0.0, hi = t_max;
+      for (unsigned i = 0; i < config.bisection_steps; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        if (total_at(mid) < r.capacity_bytes) lo = mid;
+        else hi = mid;
+      }
+      t_c = 0.5 * (lo + hi);
+    }
+
+    for (std::size_t k = 0; k < r.sharers.size(); ++k) {
+      occ[r.sharers[k]] += occupancy_at(demand[r.sharers[k]], frac[k], t_c);
+    }
+  }
+  return occ;
+}
+
+}  // namespace dicer::sim

@@ -1,0 +1,65 @@
+#include "sim/cache/way_mask.hpp"
+
+#include <bit>
+#include <cstdio>
+#include <stdexcept>
+
+namespace dicer::sim {
+
+WayMask WayMask::span(unsigned first, unsigned count) {
+  if (count == 0) return WayMask(0);
+  if (first + count > kMaxWays) {
+    throw std::out_of_range("WayMask::span: ways " + std::to_string(first) +
+                            "+" + std::to_string(count) + " exceed " +
+                            std::to_string(kMaxWays));
+  }
+  const std::uint32_t ones =
+      count >= 32 ? 0xffffffffu : ((1u << count) - 1u);
+  return WayMask(ones << first);
+}
+
+WayMask WayMask::high(unsigned count, unsigned total_ways) {
+  if (count > total_ways) {
+    throw std::out_of_range("WayMask::high: count exceeds total ways");
+  }
+  return span(total_ways - count, count);
+}
+
+unsigned WayMask::count() const noexcept {
+  return static_cast<unsigned>(std::popcount(bits_));
+}
+
+bool WayMask::contiguous() const noexcept {
+  if (bits_ == 0) return false;
+  const std::uint32_t shifted = bits_ >> std::countr_zero(bits_);
+  return (shifted & (shifted + 1)) == 0;
+}
+
+bool WayMask::test(unsigned way) const noexcept {
+  return way < kMaxWays && (bits_ >> way) & 1u;
+}
+
+unsigned WayMask::lowest() const noexcept {
+  return static_cast<unsigned>(std::countr_zero(bits_));
+}
+
+unsigned WayMask::highest() const noexcept {
+  return bits_ ? 31u - static_cast<unsigned>(std::countl_zero(bits_)) : 0u;
+}
+
+std::string WayMask::to_string() const {
+  char buf[96];
+  if (bits_ == 0) {
+    return "0x0 (empty)";
+  }
+  if (contiguous()) {
+    std::snprintf(buf, sizeof buf, "0x%x (ways %u-%u, %u ways)", bits_,
+                  lowest(), highest(), count());
+  } else {
+    std::snprintf(buf, sizeof buf, "0x%x (%u ways, non-contiguous)", bits_,
+                  count());
+  }
+  return buf;
+}
+
+}  // namespace dicer::sim

@@ -1,0 +1,61 @@
+// Way bitmask arithmetic for CAT-style LLC partitioning.
+//
+// Intel CAT expresses an LLC allocation as a *capacity bitmask* (CBM) over
+// the cache ways; hardware requires the set bits to be contiguous and
+// non-empty. DICER only ever uses contiguous masks (Section 3.3), so this
+// type enforces the same constraints the real hardware does.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dicer::sim {
+
+/// Maximum number of LLC ways any supported machine can have.
+inline constexpr unsigned kMaxWays = 32;
+
+/// A CAT capacity bitmask over LLC ways. Bit i set == way i usable.
+class WayMask {
+ public:
+  constexpr WayMask() noexcept = default;
+  explicit constexpr WayMask(std::uint32_t bits) noexcept : bits_(bits) {}
+
+  /// Mask of `count` ways starting at `first` (e.g. span(1, 19) = ways 1..19).
+  static WayMask span(unsigned first, unsigned count);
+  /// Mask of the `count` lowest ways.
+  static WayMask low(unsigned count) { return span(0, count); }
+  /// Mask of the `count` highest ways of an n-way cache.
+  static WayMask high(unsigned count, unsigned total_ways);
+  /// Full mask for an n-way cache.
+  static WayMask full(unsigned total_ways) { return span(0, total_ways); }
+
+  constexpr std::uint32_t bits() const noexcept { return bits_; }
+  constexpr bool empty() const noexcept { return bits_ == 0; }
+  unsigned count() const noexcept;             ///< number of ways set
+  bool contiguous() const noexcept;            ///< CAT hardware requirement
+  bool test(unsigned way) const noexcept;      ///< is way i usable
+  unsigned lowest() const noexcept;            ///< index of lowest set way
+  unsigned highest() const noexcept;           ///< index of highest set way
+
+  constexpr WayMask operator&(WayMask o) const noexcept {
+    return WayMask(bits_ & o.bits_);
+  }
+  constexpr WayMask operator|(WayMask o) const noexcept {
+    return WayMask(bits_ | o.bits_);
+  }
+  constexpr WayMask operator~() const noexcept { return WayMask(~bits_); }
+  constexpr bool operator==(const WayMask&) const noexcept = default;
+
+  bool overlaps(WayMask o) const noexcept { return (bits_ & o.bits_) != 0; }
+  bool contains(WayMask o) const noexcept {
+    return (bits_ & o.bits_) == o.bits_;
+  }
+
+  /// "0x7fffe (ways 1-19, 19 ways)" — for logs and error messages.
+  std::string to_string() const;
+
+ private:
+  std::uint32_t bits_ = 0;
+};
+
+}  // namespace dicer::sim

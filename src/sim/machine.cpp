@@ -1,0 +1,244 @@
+#include "sim/machine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace dicer::sim {
+
+Machine::Machine(const MachineConfig& config)
+    : config_(config),
+      apps_(config.num_cores),
+      masks_(config.num_cores, WayMask::full(config.llc.ways)),
+      mem_throttle_(config.num_cores, 1.0),
+      telemetry_(config.num_cores),
+      ips_seed_(config.num_cores, 0.0),
+      link_(config.link) {
+  if (config_.num_cores == 0 || config_.num_cores > 64) {
+    throw std::invalid_argument("Machine: core count outside 1..64");
+  }
+  if (config_.llc.ways == 0 || config_.llc.ways > kMaxWays) {
+    throw std::invalid_argument("Machine: unsupported LLC way count");
+  }
+  if (config_.quantum_sec <= 0.0) {
+    throw std::invalid_argument("Machine: quantum must be > 0");
+  }
+  if (config_.freq_hz <= 0.0) {
+    throw std::invalid_argument("Machine: frequency must be > 0");
+  }
+}
+
+void Machine::check_core(unsigned core) const {
+  if (core >= config_.num_cores) {
+    throw std::out_of_range("Machine: core " + std::to_string(core) +
+                            " out of range");
+  }
+}
+
+void Machine::attach(unsigned core, const AppProfile* profile) {
+  check_core(core);
+  if (apps_[core].has_value()) {
+    throw std::logic_error("Machine::attach: core already occupied");
+  }
+  apps_[core].emplace(profile);
+  ips_seed_[core] = 0.0;
+}
+
+void Machine::detach(unsigned core) {
+  check_core(core);
+  apps_[core].reset();
+  telemetry_[core].occupancy_bytes = 0.0;
+  telemetry_[core].last_quantum_ipc = 0.0;
+  ips_seed_[core] = 0.0;
+}
+
+bool Machine::occupied(unsigned core) const {
+  check_core(core);
+  return apps_[core].has_value();
+}
+
+const AppRuntime& Machine::runtime(unsigned core) const {
+  check_core(core);
+  if (!apps_[core]) throw std::logic_error("Machine::runtime: core is idle");
+  return *apps_[core];
+}
+
+AppRuntime& Machine::runtime(unsigned core) {
+  check_core(core);
+  if (!apps_[core]) throw std::logic_error("Machine::runtime: core is idle");
+  return *apps_[core];
+}
+
+void Machine::set_fill_mask(unsigned core, WayMask mask) {
+  check_core(core);
+  if (mask.empty()) {
+    throw std::invalid_argument("Machine::set_fill_mask: empty mask");
+  }
+  if (!WayMask::full(config_.llc.ways).contains(mask)) {
+    throw std::invalid_argument(
+        "Machine::set_fill_mask: mask exceeds cache ways: " +
+        mask.to_string());
+  }
+  masks_[core] = mask;
+}
+
+WayMask Machine::fill_mask(unsigned core) const {
+  check_core(core);
+  return masks_[core];
+}
+
+void Machine::set_mem_throttle(unsigned core, double fraction) {
+  check_core(core);
+  if (fraction <= 0.0 || fraction > 1.0) {
+    throw std::invalid_argument(
+        "Machine::set_mem_throttle: fraction outside (0, 1]");
+  }
+  mem_throttle_[core] = fraction;
+}
+
+double Machine::mem_throttle(unsigned core) const {
+  check_core(core);
+  return mem_throttle_[core];
+}
+
+const CoreTelemetry& Machine::telemetry(unsigned core) const {
+  check_core(core);
+  return telemetry_[core];
+}
+
+void Machine::step() {
+  const double dt = config_.quantum_sec;
+  const double freq = config_.freq_hz;
+
+  // Collect active cores.
+  std::vector<unsigned> active;
+  active.reserve(config_.num_cores);
+  for (unsigned c = 0; c < config_.num_cores; ++c) {
+    if (apps_[c]) active.push_back(c);
+  }
+  time_sec_ += dt;
+  if (active.empty()) return;
+
+  const std::size_t n = active.size();
+  std::vector<WayMask> masks(n);
+  std::vector<const AppPhase*> phase(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    masks[i] = masks_[active[i]];
+    phase[i] = &apps_[active[i]]->current_phase();
+  }
+  const auto regions =
+      decompose_regions(masks, config_.llc.ways, config_.way_bytes());
+
+  // Warm-started state.
+  std::vector<double> ips(n), occ(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double seed = ips_seed_[active[i]];
+    ips[i] = seed > 0.0 ? seed : freq / (phase[i]->cpi_core + 1.0);
+  }
+
+  std::vector<double> miss(n, 1.0), demand(n, 0.0);
+  std::vector<CacheDemand> cache_demand(n);
+  LinkArbitration arb;
+  const double line = config_.llc.line_bytes;
+
+  for (unsigned round = 0; round < config_.fixed_point_rounds; ++round) {
+    // 1. Occupancy under current IPS estimates (Che working-set model).
+    //    Each MRC component becomes a reuse component whose touch rate is
+    //    proportional to its miss-mass weight.
+    for (std::size_t i = 0; i < n; ++i) {
+      const double touch = phase[i]->api * ips[i] * line;
+      const double sf = phase[i]->mrc.stream_fraction();
+      const auto& comps = phase[i]->mrc.components();
+      double wsum = 0.0;
+      for (const auto& c : comps) wsum += c.weight;
+      cache_demand[i].reuse.clear();
+      if (wsum > 0.0) {
+        for (const auto& c : comps) {
+          cache_demand[i].reuse.push_back(
+              {touch * (1.0 - sf) * (c.weight / wsum), c.ws_bytes});
+        }
+      }
+      cache_demand[i].stream_bytes_per_sec = touch * sf;
+    }
+    occ = solve_occupancy(regions, n, cache_demand, config_.occupancy);
+
+    // 2. Miss ratios and bandwidth demand.
+    for (std::size_t i = 0; i < n; ++i) {
+      miss[i] = phase[i]->mrc.at(occ[i]);
+      demand[i] =
+          phase[i]->api * miss[i] * ips[i] * line * (1.0 + phase[i]->wb_ratio);
+    }
+    arb = link_.arbitrate(demand);
+
+    // 3. New IPC estimates under the arbitrated latency; bandwidth cap when
+    //    the link is oversubscribed. The LLC hit path is shared too: ring /
+    //    LLC-port pressure from everyone's access rate inflates it.
+    double total_accesses = 0.0;
+    for (std::size_t i = 0; i < n; ++i) total_accesses += phase[i]->api * ips[i];
+    const double hit_latency =
+        config_.llc_hit_latency_cycles *
+        (1.0 +
+         config_.uncore_contention_coeff *
+             std::sqrt(std::min(
+                 total_accesses / config_.uncore_access_ref_per_sec, 1.0)));
+    double worst_rel = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      // Cache starvation serialises reuse misses: degrade MLP with the
+      // excess miss ratio above the app's best case.
+      const double floor_m = phase[i]->mrc.floor();
+      const double span_m = std::max(phase[i]->mrc.ceiling() - floor_m, 1e-9);
+      const double excess = std::clamp((miss[i] - floor_m) / span_m, 0.0, 1.0);
+      const double mlp_eff =
+          phase[i]->mlp *
+          (1.0 - config_.mlp_squeeze * excess);
+      // An MBA throttle delays a core's memory requests: its exposed memory
+      // latency stretches by 1/throttle, and its demand falls as its IPS
+      // falls — the same route real MBA takes effect through.
+      const double cpi =
+          phase[i]->cpi_core +
+          phase[i]->api *
+              ((1.0 - miss[i]) * hit_latency +
+               miss[i] * arb.effective_latency_cycles /
+                   (mlp_eff * mem_throttle_[active[i]]));
+      const double target = freq / cpi;
+      const double next =
+          config_.fixed_point_damping * target +
+          (1.0 - config_.fixed_point_damping) * ips[i];
+      worst_rel = std::max(worst_rel, std::fabs(next - ips[i]) /
+                                          std::max(ips[i], 1.0));
+      ips[i] = next;
+    }
+    if (worst_rel < 1e-4) break;
+  }
+
+  last_rho_ = arb.raw_utilisation;
+  last_traffic_ = 0.0;
+  for (double a : arb.achieved_bytes_per_sec) last_traffic_ += a;
+
+  // Commit the quantum.
+  for (std::size_t i = 0; i < n; ++i) {
+    const unsigned core = active[i];
+    auto& tel = telemetry_[core];
+    const double instructions = ips[i] * dt;
+    const unsigned completed = apps_[core]->advance(instructions);
+    tel.instructions += instructions;
+    tel.active_cycles += freq * dt;
+    tel.mem_bytes += arb.achieved_bytes_per_sec[i] * dt;
+    tel.occupancy_bytes = occ[i];
+    tel.completions += completed;
+    tel.last_quantum_ipc = ips[i] / freq;
+    ips_seed_[core] = ips[i];
+  }
+}
+
+void Machine::run_for(double seconds) {
+  const auto quanta = static_cast<std::uint64_t>(
+      std::ceil(seconds / config_.quantum_sec - 1e-9));
+  for (std::uint64_t q = 0; q < std::max<std::uint64_t>(quanta, 1); ++q) {
+    step();
+  }
+}
+
+}  // namespace dicer::sim

@@ -1,0 +1,141 @@
+// The simulated server: N cores, a way-partitioned LLC, one memory link.
+//
+// Geometry defaults mirror the paper's testbed (Table 1): Intel Xeon
+// E5-2630 v4, 10 cores at 2.2 GHz, 25 MB 20-way LLC, 68.3 Gbps memory link.
+//
+// Time advances in quanta (default 10 ms — 100 model steps per 1 s
+// monitoring period). Each quantum solves a coupled fixed point between
+// three sub-models:
+//
+//   occupancy  <- competitive sharing of each way-region given miss pressure
+//   bandwidth  <- per-app demand = api * miss_ratio * IPS * line * (1 + wb)
+//   IPC        <- CPI = cpi_core + api * ((1-m)*lat_llc + m*lat_mem(rho)),
+//                 capped by the app's achieved bandwidth share when the
+//                 link is oversubscribed
+//
+// because occupancy depends on IPS (pressure), IPS depends on latency,
+// and latency depends on everyone's bandwidth, which depends on IPS.
+// The loop warm-starts from the previous quantum and converges in a few
+// damped rounds.
+//
+// The Machine knows nothing about policies or priorities: it exposes
+// exactly the actuator CAT has (a fill mask per core) and the observables
+// CMT/MBM/perf have (occupancy, memory traffic, instructions, cycles).
+// The rdt:: layer adapts those to a pqos-like API.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/cache/occupancy_model.hpp"
+#include "sim/cache/set_assoc_cache.hpp"
+#include "sim/cache/way_mask.hpp"
+#include "sim/core/app_profile.hpp"
+#include "sim/mem/memory_link.hpp"
+
+namespace dicer::sim {
+
+struct MachineConfig {
+  unsigned num_cores = 10;
+  double freq_hz = 2.2e9;
+  CacheGeometry llc{};                   ///< 25 MB, 20-way, 64 B lines
+  MemoryLinkConfig link{};               ///< 68.3 Gbps
+  double llc_hit_latency_cycles = 42.0;  ///< L2-miss-LLC-hit round trip
+  /// Uncore (ring / LLC port) contention: the hit latency every core sees
+  /// inflates with the aggregate LLC access rate,
+  ///   lat_hit_eff = lat_hit * (1 + coeff * sqrt(min(total_accesses/ref, 1)))
+  /// (concave: even a few busy neighbours queue on the ring, then the
+  /// effect saturates).
+  /// This is interference CAT cannot remove (partitioning does not reduce
+  /// how often neighbours *access* the LLC) and it is the main reason the
+  /// paper finds CT offering "no improvement" for ~60 % of workloads.
+  double uncore_contention_coeff = 0.28;
+  double uncore_access_ref_per_sec = 1.3e8;
+  /// MLP collapse under cache starvation: misses to *re-used* data carry
+  /// dependencies, so when an app is squeezed far above its best-case miss
+  /// ratio its memory-level parallelism degrades towards serial,
+  ///   mlp_eff = mlp * (1 - mlp_squeeze * excess),
+  /// excess = (m - floor) / (ceiling - floor) in [0, 1]. Streaming apps
+  /// (m ~ floor always) are unaffected — their overlap is by construction.
+  /// This is what makes CT's one-way BEs collapse the way the paper's
+  /// Fig 5/6 BE series do.
+  double mlp_squeeze = 0.5;
+  double quantum_sec = 0.010;
+  unsigned fixed_point_rounds = 8;
+  double fixed_point_damping = 0.5;
+  OccupancySolverConfig occupancy{};
+
+  double way_bytes() const noexcept {
+    return static_cast<double>(llc.way_bytes());
+  }
+};
+
+/// Cumulative per-core counters, in hardware-counter style: monitors take
+/// deltas, the machine never resets them.
+struct CoreTelemetry {
+  double instructions = 0.0;     ///< retired
+  double active_cycles = 0.0;    ///< cycles with an app attached
+  double mem_bytes = 0.0;        ///< achieved memory traffic
+  double occupancy_bytes = 0.0;  ///< current LLC holding (state, not counter)
+  std::uint64_t completions = 0; ///< whole-app runs finished
+  double last_quantum_ipc = 0.0; ///< diagnostic convenience
+};
+
+class Machine {
+ public:
+  explicit Machine(const MachineConfig& config = {});
+
+  const MachineConfig& config() const noexcept { return config_; }
+  unsigned num_cores() const noexcept { return config_.num_cores; }
+  unsigned num_ways() const noexcept { return config_.llc.ways; }
+  double time_sec() const noexcept { return time_sec_; }
+
+  /// Attach an application to a core (throws if occupied / out of range).
+  void attach(unsigned core, const AppProfile* profile);
+  /// Detach (idempotent). Telemetry counters are preserved.
+  void detach(unsigned core);
+  bool occupied(unsigned core) const;
+  /// The runtime of the app on `core`; throws if none.
+  const AppRuntime& runtime(unsigned core) const;
+  AppRuntime& runtime(unsigned core);
+
+  /// CAT actuator: set the fill mask for a core. Must be non-empty and
+  /// within the cache's ways. (Contiguity is enforced by rdt::CatController,
+  /// like real hardware does at the CLOS level, not here.)
+  void set_fill_mask(unsigned core, WayMask mask);
+  WayMask fill_mask(unsigned core) const;
+
+  /// MBA actuator: cap a core's memory request rate to `fraction` of its
+  /// demand (MBA-style delay throttling), fraction in (0, 1].
+  void set_mem_throttle(unsigned core, double fraction);
+  double mem_throttle(unsigned core) const;
+
+  /// Advance one quantum (config().quantum_sec).
+  void step();
+  /// Advance by `seconds` in whole quanta (rounds up to >= 1 quantum).
+  void run_for(double seconds);
+
+  const CoreTelemetry& telemetry(unsigned core) const;
+
+  /// Link utilisation of the last quantum (rho, possibly > 1 pre-throttle).
+  double last_link_utilisation() const noexcept { return last_rho_; }
+  /// Total achieved memory traffic rate of the last quantum (bytes/s).
+  double last_link_traffic() const noexcept { return last_traffic_; }
+
+ private:
+  void check_core(unsigned core) const;
+
+  MachineConfig config_;
+  double time_sec_ = 0.0;
+  std::vector<std::optional<AppRuntime>> apps_;
+  std::vector<WayMask> masks_;
+  std::vector<double> mem_throttle_;
+  std::vector<CoreTelemetry> telemetry_;
+  std::vector<double> ips_seed_;  ///< warm start for the fixed point
+  MemoryLink link_;
+  double last_rho_ = 0.0;
+  double last_traffic_ = 0.0;
+};
+
+}  // namespace dicer::sim

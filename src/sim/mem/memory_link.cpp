@@ -1,0 +1,51 @@
+#include "sim/mem/memory_link.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dicer::sim {
+
+MemoryLink::MemoryLink(const MemoryLinkConfig& config) : config_(config) {
+  if (config_.capacity_bytes_per_sec <= 0.0) {
+    throw std::invalid_argument("MemoryLink: capacity must be > 0");
+  }
+  if (config_.base_latency_cycles <= 0.0) {
+    throw std::invalid_argument("MemoryLink: base latency must be > 0");
+  }
+  if (config_.congestion_amplitude < 0.0 ||
+      config_.congestion_exponent <= 0.0 || config_.congestion_linear < 0.0) {
+    throw std::invalid_argument("MemoryLink: bad congestion parameters");
+  }
+}
+
+double MemoryLink::latency_at(double raw_utilisation) const noexcept {
+  const double rho = std::clamp(raw_utilisation, 0.0, 1.0);
+  const double congestion =
+      1.0 + config_.congestion_linear * rho +
+      config_.congestion_amplitude *
+          std::pow(rho, config_.congestion_exponent);
+  const double oversubscription = std::max(raw_utilisation, 1.0);
+  return config_.base_latency_cycles * congestion * oversubscription;
+}
+
+LinkArbitration MemoryLink::arbitrate(
+    std::span<const double> demand_bytes_per_sec) const {
+  LinkArbitration out;
+  double total = 0.0;
+  for (double d : demand_bytes_per_sec) {
+    if (d < 0.0) throw std::invalid_argument("MemoryLink: negative demand");
+    total += d;
+  }
+  out.raw_utilisation = total / config_.capacity_bytes_per_sec;
+  out.utilisation = std::min(out.raw_utilisation, 1.0);
+  out.throttle = out.raw_utilisation > 1.0 ? 1.0 / out.raw_utilisation : 1.0;
+  out.effective_latency_cycles = latency_at(out.raw_utilisation);
+  out.achieved_bytes_per_sec.reserve(demand_bytes_per_sec.size());
+  for (double d : demand_bytes_per_sec) {
+    out.achieved_bytes_per_sec.push_back(d * out.throttle);
+  }
+  return out;
+}
+
+}  // namespace dicer::sim

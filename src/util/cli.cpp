@@ -1,0 +1,59 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+
+namespace dicer::util {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      kv_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      kv_[arg] = argv[++i];
+    } else {
+      kv_[arg] = "";  // bare flag
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& key) const { return kv_.count(key) > 0; }
+
+std::optional<std::string> CliArgs::get(const std::string& key) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string CliArgs::get_or(const std::string& key,
+                            const std::string& def) const {
+  return get(key).value_or(def);
+}
+
+long CliArgs::get_int(const std::string& key, long def) const {
+  const auto v = get(key);
+  if (!v || v->empty()) return def;
+  return std::strtol(v->c_str(), nullptr, 10);
+}
+
+double CliArgs::get_double(const std::string& key, double def) const {
+  const auto v = get(key);
+  if (!v || v->empty()) return def;
+  return std::strtod(v->c_str(), nullptr);
+}
+
+bool CliArgs::get_bool(const std::string& key, bool def) const {
+  const auto v = get(key);
+  if (!v) return def;
+  if (v->empty()) return true;  // bare --flag means true
+  return *v == "1" || *v == "true" || *v == "yes" || *v == "on";
+}
+
+}  // namespace dicer::util

@@ -1,0 +1,61 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace dicer::util {
+
+namespace {
+
+LogLevel parse_level(const char* s) {
+  if (!s) return LogLevel::kWarn;
+  if (std::strcmp(s, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(s, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(s, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(s, "error") == 0) return LogLevel::kError;
+  if (std::strcmp(s, "off") == 0) return LogLevel::kOff;
+  return LogLevel::kWarn;
+}
+
+std::atomic<int>& threshold_storage() noexcept {
+  static std::atomic<int> level{
+      static_cast<int>(parse_level(std::getenv("DICER_LOG")))};
+  return level;
+}
+
+const char* prefix(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug: return "[debug]";
+    case LogLevel::kInfo: return "[info ]";
+    case LogLevel::kWarn: return "[warn ]";
+    case LogLevel::kError: return "[error]";
+    case LogLevel::kOff: return "[off  ]";
+  }
+  return "[?]";
+}
+
+}  // namespace
+
+LogLevel log_threshold() noexcept {
+  return static_cast<LogLevel>(threshold_storage().load(std::memory_order_relaxed));
+}
+
+void set_log_threshold(LogLevel level) noexcept {
+  threshold_storage().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+bool log_enabled(LogLevel level) noexcept {
+  return static_cast<int>(level) >= static_cast<int>(log_threshold());
+}
+
+void log_line(LogLevel level, const std::string& msg) {
+  if (!log_enabled(level)) return;
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+  std::fprintf(stderr, "%s %s\n", prefix(level), msg.c_str());
+}
+
+}  // namespace dicer::util

@@ -1,0 +1,94 @@
+#include "harness/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace dicer::harness {
+namespace {
+
+BaselineEntry sample_entry(const char* hp, const char* be) {
+  BaselineEntry e;
+  e.spec = {hp, be};
+  e.hp_alone_ipc = 3.0;  // generous solo IPC: normalised values < 1
+  e.be_alone_ipc = 3.0;
+  e.um_hp_ipc = 2.7;
+  e.ct_hp_ipc = 2.85;
+  return e;
+}
+
+SweepConfig small_config() {
+  SweepConfig sc;
+  sc.policies = {"UM", "CT"};
+  sc.cores = {2, 4};
+  return sc;
+}
+
+TEST(PolicySweep, ProducesFullGrid) {
+  const std::vector<BaselineEntry> sample = {
+      sample_entry("milc1", "gcc_base3"), sample_entry("namd1", "bzip22")};
+  const auto rows = policy_sweep(sim::default_catalog(), sample,
+                                 small_config(), /*cache_path=*/"");
+  EXPECT_EQ(rows.size(), 2u * 2u * 2u);
+  for (const auto& r : rows) {
+    EXPECT_GT(r.hp_ipc, 0.0);
+    EXPECT_GT(r.be_ipc, 0.0);
+    EXPECT_GT(r.efu, 0.0);
+    EXPECT_LE(r.efu, 1.0);
+    EXPECT_GT(r.hp_norm(), 0.0);
+  }
+}
+
+TEST(PolicySweep, FilterSelectsCell) {
+  const std::vector<BaselineEntry> sample = {
+      sample_entry("milc1", "gcc_base3")};
+  const auto rows = policy_sweep(sim::default_catalog(), sample,
+                                 small_config(), "");
+  const auto cell = filter(rows, "CT", 4);
+  ASSERT_EQ(cell.size(), 1u);
+  EXPECT_EQ(cell[0].policy, "CT");
+  EXPECT_EQ(cell[0].cores, 4u);
+}
+
+TEST(PolicySweep, CacheRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/sweep_cache_test.csv";
+  std::remove(path.c_str());
+  const std::vector<BaselineEntry> sample = {
+      sample_entry("milc1", "gcc_base3")};
+  const auto cfg = small_config();
+  const auto rows = policy_sweep(sim::default_catalog(), sample, cfg, path);
+  const auto again = policy_sweep(sim::default_catalog(), sample, cfg, path);
+  ASSERT_EQ(again.size(), rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(again[i].policy, rows[i].policy);
+    EXPECT_EQ(again[i].cores, rows[i].cores);
+    EXPECT_NEAR(again[i].hp_ipc, rows[i].hp_ipc, 1e-5);
+    EXPECT_NEAR(again[i].efu, rows[i].efu, 1e-5);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(PolicySweep, CacheKeyedBySample) {
+  const std::string path = ::testing::TempDir() + "/sweep_key_test.csv";
+  std::remove(path.c_str());
+  const auto cfg = small_config();
+  const std::vector<BaselineEntry> s1 = {sample_entry("milc1", "gcc_base3")};
+  const std::vector<BaselineEntry> s2 = {sample_entry("namd1", "bzip22")};
+  policy_sweep(sim::default_catalog(), s1, cfg, path);
+  // Different sample -> cache miss -> rows describe the new sample.
+  const auto rows = policy_sweep(sim::default_catalog(), s2, cfg, path);
+  ASSERT_FALSE(rows.empty());
+  EXPECT_EQ(rows[0].hp, "namd1");
+  std::remove(path.c_str());
+}
+
+TEST(PolicySweep, CtFavouredFlagPropagated) {
+  std::vector<BaselineEntry> sample = {sample_entry("milc1", "gcc_base3")};
+  sample[0].ct_hp_ipc = 2.95;  // force CT-F classification
+  const auto rows =
+      policy_sweep(sim::default_catalog(), sample, small_config(), "");
+  for (const auto& r : rows) EXPECT_TRUE(r.ct_favoured);
+}
+
+}  // namespace
+}  // namespace dicer::harness

@@ -1,0 +1,167 @@
+#include "harness/workloads.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+
+namespace dicer::harness {
+namespace {
+
+TEST(WorkloadSpec, Label) {
+  WorkloadSpec s{"milc1", "gcc_base3"};
+  EXPECT_EQ(s.label(), "milc1 gcc_base3");
+}
+
+TEST(AllPairs, FullCross) {
+  const auto pairs = all_pairs(sim::default_catalog());
+  EXPECT_EQ(pairs.size(), 3481u);  // 59 x 59, the paper's workload count
+  EXPECT_EQ(pairs.front().hp, pairs.front().be);  // first is (a0, a0)
+}
+
+BaselineEntry entry(const char* hp, const char* be, double alone, double um,
+                    double ct) {
+  BaselineEntry e;
+  e.spec = {hp, be};
+  e.hp_alone_ipc = alone;
+  e.be_alone_ipc = 1.0;
+  e.um_hp_ipc = um;
+  e.ct_hp_ipc = ct;
+  e.um_be_ipc = 0.8;
+  e.ct_be_ipc = 0.5;
+  e.um_efu = 0.8;
+  e.ct_efu = 0.6;
+  return e;
+}
+
+TEST(BaselineEntry, SlowdownsAndClassification) {
+  const auto e = entry("a", "b", 1.0, 0.8, 0.9);
+  EXPECT_DOUBLE_EQ(e.um_slowdown(), 1.25);
+  EXPECT_NEAR(e.ct_slowdown(), 1.111, 0.001);
+  EXPECT_TRUE(e.ct_favoured());  // 0.9 > 0.8 * 1.03
+}
+
+TEST(BaselineEntry, TieIsCtThwarted) {
+  // "No improvement" counts as CT-Thwarted (paper 2.3.3), including
+  // improvements inside the noise margin.
+  EXPECT_FALSE(entry("a", "b", 1.0, 0.8, 0.8).ct_favoured());
+  EXPECT_FALSE(entry("a", "b", 1.0, 0.8, 0.81).ct_favoured());
+  EXPECT_FALSE(entry("a", "b", 1.0, 0.9, 0.7).ct_favoured());
+}
+
+BaselineStudy synthetic_study(std::size_t n_apps = 59) {
+  BaselineStudy study;
+  const auto& catalog = sim::default_catalog();
+  for (std::size_t i = 0; i < n_apps; ++i) {
+    for (std::size_t j = 0; j < n_apps; ++j) {
+      const double um = 0.4 + 0.5 * static_cast<double>((i * 59 + j) % 100) / 100.0;
+      const double ct = (i + j) % 2 ? um * 1.2 : um * 0.95;
+      study.entries.push_back(entry(catalog.at(i).name.c_str(),
+                                    catalog.at(j).name.c_str(), 1.0, um, ct));
+    }
+  }
+  return study;
+}
+
+TEST(BaselineStudy, CtFractionCounts) {
+  const auto study = synthetic_study();
+  EXPECT_EQ(study.count_ct_favoured(), 1740u);  // (i+j) odd cells
+  EXPECT_NEAR(study.fraction_ct_thwarted(), 1.0 - 1740.0 / 3481.0, 1e-12);
+}
+
+TEST(BaselineCache, RoundTripsExactly) {
+  const std::string path = ::testing::TempDir() + "/baseline_cache_test.csv";
+  const auto& catalog = sim::default_catalog();
+  auto study = synthetic_study();
+  study.config = ConsolidationConfig{};
+  save_baseline_cache(path, study, catalog);
+  const auto loaded = load_baseline_cache(path, catalog, study.config);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->entries.size(), study.entries.size());
+  for (std::size_t i = 0; i < study.entries.size(); i += 97) {
+    EXPECT_EQ(loaded->entries[i].spec.hp, study.entries[i].spec.hp);
+    EXPECT_NEAR(loaded->entries[i].um_hp_ipc, study.entries[i].um_hp_ipc,
+                1e-5);
+    EXPECT_NEAR(loaded->entries[i].ct_efu, study.entries[i].ct_efu, 1e-5);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(BaselineCache, StaleKeyRejected) {
+  const std::string path = ::testing::TempDir() + "/baseline_stale_test.csv";
+  const auto& catalog = sim::default_catalog();
+  auto study = synthetic_study();
+  study.config = ConsolidationConfig{};
+  save_baseline_cache(path, study, catalog);
+  // A different machine geometry must invalidate the cache.
+  ConsolidationConfig other;
+  other.machine.llc.ways = 16;
+  EXPECT_FALSE(load_baseline_cache(path, catalog, other).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(BaselineCache, MissingFileIsNullopt) {
+  EXPECT_FALSE(load_baseline_cache("/no/such/file.csv",
+                                   sim::default_catalog(),
+                                   ConsolidationConfig{})
+                   .has_value());
+}
+
+TEST(RepresentativeSample, PaperCompositionFiftySeventy) {
+  const auto study = synthetic_study();
+  const auto sample = representative_sample(study, 50, 70);
+  EXPECT_EQ(sample.size(), 120u);
+  std::size_t ctf = 0;
+  for (const auto& e : sample) ctf += e.ct_favoured() ? 1u : 0u;
+  EXPECT_EQ(ctf, 50u);
+}
+
+TEST(RepresentativeSample, DeterministicForSeed) {
+  const auto study = synthetic_study();
+  const auto a = representative_sample(study, 50, 70, 42);
+  const auto b = representative_sample(study, 50, 70, 42);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].spec.label(), b[i].spec.label());
+  }
+}
+
+TEST(RepresentativeSample, NoDuplicates) {
+  const auto study = synthetic_study();
+  const auto sample = representative_sample(study, 50, 70);
+  std::set<std::string> labels;
+  for (const auto& e : sample) {
+    EXPECT_TRUE(labels.insert(e.spec.label()).second) << e.spec.label();
+  }
+}
+
+TEST(RepresentativeSample, SpansSlowdownRange) {
+  // Stratification: the sample's slowdown range covers most of the pool's.
+  const auto study = synthetic_study();
+  const auto sample = representative_sample(study, 50, 70);
+  double lo = 1e9, hi = 0.0;
+  for (const auto& e : sample) {
+    lo = std::min(lo, e.um_slowdown());
+    hi = std::max(hi, e.um_slowdown());
+  }
+  EXPECT_LT(lo, 1.2);
+  EXPECT_GT(hi, 2.0);
+}
+
+TEST(RepresentativeSample, RequestMoreThanPoolGetsPool) {
+  BaselineStudy tiny;
+  tiny.entries.push_back(entry("a", "b", 1.0, 0.8, 0.9));   // CT-F
+  tiny.entries.push_back(entry("c", "d", 1.0, 0.8, 0.78));  // CT-T
+  const auto sample = representative_sample(tiny, 5, 5);
+  EXPECT_EQ(sample.size(), 2u);
+}
+
+TEST(DefaultCacheDir, EnvOverride) {
+  setenv("DICER_CACHE_DIR", "/tmp/somewhere", 1);
+  EXPECT_EQ(default_cache_dir(), "/tmp/somewhere");
+  unsetenv("DICER_CACHE_DIR");
+  EXPECT_EQ(default_cache_dir(), ".");
+}
+
+}  // namespace
+}  // namespace dicer::harness

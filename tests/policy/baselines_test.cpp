@@ -1,0 +1,119 @@
+#include "policy/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rdt/capability.hpp"
+#include "sim/core/catalog.hpp"
+
+namespace dicer::policy {
+namespace {
+
+struct PolicyFixture : ::testing::Test {
+  sim::Machine machine{sim::MachineConfig{}};
+  rdt::Capability cap = rdt::Capability::probe(machine);
+  rdt::CatController cat{machine, cap};
+  rdt::Monitor monitor{machine, cap};
+  PolicyContext ctx;
+
+  void SetUp() override {
+    ctx.machine = &machine;
+    ctx.cat = &cat;
+    ctx.monitor = &monitor;
+    ctx.hp_core = 0;
+    for (unsigned c = 1; c < 10; ++c) ctx.be_cores.push_back(c);
+    const auto& catalog = sim::default_catalog();
+    machine.attach(0, &catalog.by_name("omnetpp1"));
+    for (unsigned c = 1; c < 10; ++c) {
+      machine.attach(c, &catalog.by_name("gcc_base3"));
+    }
+  }
+};
+
+TEST_F(PolicyFixture, UnmanagedLeavesFullMasks) {
+  Unmanaged um;
+  um.setup(ctx);
+  EXPECT_EQ(um.name(), "UM");
+  for (unsigned c = 0; c < 10; ++c) {
+    EXPECT_EQ(machine.fill_mask(c), sim::WayMask::full(20));
+  }
+  // All cores monitored.
+  for (unsigned c = 0; c < 10; ++c) EXPECT_TRUE(monitor.tracked(c));
+}
+
+TEST_F(PolicyFixture, UnmanagedActIsHarmless) {
+  Unmanaged um;
+  um.setup(ctx);
+  machine.run_for(um.interval_sec());
+  um.act(ctx);
+  for (unsigned c = 0; c < 10; ++c) {
+    EXPECT_EQ(machine.fill_mask(c), sim::WayMask::full(20));
+  }
+}
+
+TEST_F(PolicyFixture, CacheTakeoverSplitsNineteenToOne) {
+  CacheTakeover ct;
+  ct.setup(ctx);
+  EXPECT_EQ(ct.name(), "CT");
+  EXPECT_EQ(machine.fill_mask(0), sim::WayMask::high(19, 20));
+  for (unsigned c = 1; c < 10; ++c) {
+    EXPECT_EQ(machine.fill_mask(c), sim::WayMask::low(1));
+  }
+}
+
+TEST_F(PolicyFixture, CtUsesDistinctClos) {
+  CacheTakeover ct;
+  ct.setup(ctx);
+  EXPECT_EQ(cat.clos_of(0), kHpClos);
+  for (unsigned c = 1; c < 10; ++c) EXPECT_EQ(cat.clos_of(c), kBeClos);
+}
+
+TEST_F(PolicyFixture, StaticPartitionArbitrarySplit) {
+  StaticPartition pol(6);
+  pol.setup(ctx);
+  EXPECT_EQ(pol.name(), "Static(6)");
+  EXPECT_EQ(pol.hp_ways(), 6u);
+  EXPECT_EQ(machine.fill_mask(0), sim::WayMask::high(6, 20));
+  EXPECT_EQ(machine.fill_mask(1), sim::WayMask::low(14));
+}
+
+TEST_F(PolicyFixture, ApplySplitValidatesRange) {
+  EXPECT_THROW(apply_split(ctx, 0), std::invalid_argument);
+  EXPECT_THROW(apply_split(ctx, 20), std::invalid_argument);
+  EXPECT_NO_THROW(apply_split(ctx, 19));
+}
+
+TEST_F(PolicyFixture, ContextRequiresWiring) {
+  PolicyContext empty;
+  EXPECT_THROW(associate_and_track(empty), std::invalid_argument);
+}
+
+class StaticSplitSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(StaticSplitSweep, PartitionsNeverOverlap) {
+  sim::Machine machine{sim::MachineConfig{}};
+  const auto cap = rdt::Capability::probe(machine);
+  rdt::CatController cat(machine, cap);
+  rdt::Monitor monitor(machine, cap);
+  PolicyContext ctx;
+  ctx.machine = &machine;
+  ctx.cat = &cat;
+  ctx.monitor = &monitor;
+  ctx.hp_core = 0;
+  ctx.be_cores = {1, 2, 3};
+  const auto& catalog = sim::default_catalog();
+  machine.attach(0, &catalog.at(0));
+  for (unsigned c = 1; c < 4; ++c) machine.attach(c, &catalog.at(c));
+
+  StaticPartition pol(GetParam());
+  pol.setup(ctx);
+  const auto hp = machine.fill_mask(0);
+  const auto be = machine.fill_mask(1);
+  EXPECT_FALSE(hp.overlaps(be));
+  EXPECT_EQ(hp.count() + be.count(), 20u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Splits, StaticSplitSweep,
+                         ::testing::Values(1u, 5u, 10u, 19u));
+
+}  // namespace
+}  // namespace dicer::policy

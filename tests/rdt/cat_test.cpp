@@ -1,0 +1,111 @@
+#include "rdt/cat.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dicer::rdt {
+namespace {
+
+using sim::Machine;
+using sim::MachineConfig;
+using sim::WayMask;
+
+struct CatFixture : ::testing::Test {
+  Machine machine{MachineConfig{}};
+  Capability cap = Capability::probe(machine);
+  CatController cat{machine, cap};
+};
+
+TEST_F(CatFixture, ProbeReflectsMachine) {
+  EXPECT_EQ(cap.cat_ways, 20u);
+  EXPECT_EQ(cap.llc_size_bytes, 25ull * 1024 * 1024);
+  EXPECT_TRUE(cap.cat_supported);
+  EXPECT_TRUE(cap.cmt_supported);
+  EXPECT_TRUE(cap.mbm_supported);
+  EXPECT_FALSE(cap.mba_supported);  // the paper's server lacks MBA
+}
+
+TEST_F(CatFixture, ResetStateIsHardwareDefault) {
+  for (unsigned core = 0; core < machine.num_cores(); ++core) {
+    EXPECT_EQ(cat.clos_of(core), 0u);
+    EXPECT_EQ(machine.fill_mask(core), WayMask::full(20));
+  }
+  for (unsigned clos = 0; clos < cat.num_clos(); ++clos) {
+    EXPECT_EQ(cat.clos_mask(clos), WayMask::full(20));
+  }
+}
+
+TEST_F(CatFixture, MaskAppliesToAssociatedCores) {
+  cat.associate(3, 1);
+  cat.set_clos_mask(1, WayMask::high(19, 20));
+  EXPECT_EQ(machine.fill_mask(3), WayMask::high(19, 20));
+  EXPECT_EQ(machine.fill_mask(2), WayMask::full(20));  // untouched
+}
+
+TEST_F(CatFixture, AssociationAppliesExistingMask) {
+  cat.set_clos_mask(2, WayMask::low(1));
+  cat.associate(5, 2);
+  EXPECT_EQ(machine.fill_mask(5), WayMask::low(1));
+}
+
+TEST_F(CatFixture, RejectsEmptyMask) {
+  EXPECT_THROW(cat.set_clos_mask(1, WayMask()), std::invalid_argument);
+}
+
+TEST_F(CatFixture, RejectsNonContiguousMask) {
+  EXPECT_THROW(cat.set_clos_mask(1, WayMask(0b101)), std::invalid_argument);
+}
+
+TEST_F(CatFixture, RejectsMaskBeyondWays) {
+  EXPECT_THROW(cat.set_clos_mask(1, WayMask::span(15, 10)),
+               std::invalid_argument);
+}
+
+TEST_F(CatFixture, RejectsBadClosOrCore) {
+  EXPECT_THROW(cat.set_clos_mask(16, WayMask::low(1)), std::out_of_range);
+  EXPECT_THROW(cat.associate(0, 16), std::out_of_range);
+  EXPECT_THROW(cat.associate(10, 0), std::out_of_range);
+  EXPECT_THROW(cat.clos_of(10), std::out_of_range);
+  EXPECT_THROW(cat.clos_mask(16), std::out_of_range);
+}
+
+TEST_F(CatFixture, MinWaysEnforced) {
+  Capability strict = cap;
+  strict.cat_min_ways = 2;
+  CatController strict_cat(machine, strict);
+  EXPECT_THROW(strict_cat.set_clos_mask(1, WayMask::low(1)),
+               std::invalid_argument);
+  EXPECT_NO_THROW(strict_cat.set_clos_mask(1, WayMask::low(2)));
+}
+
+TEST_F(CatFixture, ResetRestoresDefaults) {
+  cat.associate(1, 3);
+  cat.set_clos_mask(3, WayMask::low(2));
+  cat.reset();
+  EXPECT_EQ(cat.clos_of(1), 0u);
+  EXPECT_EQ(machine.fill_mask(1), WayMask::full(20));
+  EXPECT_EQ(cat.clos_mask(3), WayMask::full(20));
+}
+
+TEST_F(CatFixture, UpdatingMaskRetargetsAllMembers) {
+  cat.associate(1, 4);
+  cat.associate(2, 4);
+  cat.set_clos_mask(4, WayMask::low(3));
+  EXPECT_EQ(machine.fill_mask(1), WayMask::low(3));
+  EXPECT_EQ(machine.fill_mask(2), WayMask::low(3));
+  cat.set_clos_mask(4, WayMask::low(7));
+  EXPECT_EQ(machine.fill_mask(1), WayMask::low(7));
+  EXPECT_EQ(machine.fill_mask(2), WayMask::low(7));
+}
+
+TEST(CatController, MismatchedCapabilityThrows) {
+  Machine machine{MachineConfig{}};
+  Capability cap = Capability::probe(machine);
+  cap.cat_ways = 11;
+  EXPECT_THROW(CatController(machine, cap), std::invalid_argument);
+  cap = Capability::probe(machine);
+  cap.cat_supported = false;
+  EXPECT_THROW(CatController(machine, cap), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dicer::rdt

@@ -1,0 +1,87 @@
+#include "rdt/mba.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dicer::rdt {
+namespace {
+
+using sim::Machine;
+using sim::MachineConfig;
+
+struct MbaFixture : ::testing::Test {
+  Machine machine{MachineConfig{}};
+  Capability cap = Capability::probe(machine, /*enable_mba=*/true);
+  MbaController mba{machine, cap};
+};
+
+TEST(MbaController, UnsupportedPlatformThrows) {
+  Machine machine{MachineConfig{}};
+  const auto cap = Capability::probe(machine);  // paper server: no MBA
+  EXPECT_THROW(MbaController(machine, cap), std::runtime_error);
+}
+
+TEST_F(MbaFixture, DefaultsToFullBandwidth) {
+  for (unsigned clos = 0; clos < cap.cat_num_clos; ++clos) {
+    EXPECT_EQ(mba.clos_throttle(clos), 100u);
+  }
+  EXPECT_DOUBLE_EQ(machine.mem_throttle(0), 1.0);
+}
+
+TEST_F(MbaFixture, ThrottleAppliesToAssociatedCores) {
+  mba.associate(2, 5);
+  mba.set_clos_throttle(5, 40);
+  EXPECT_DOUBLE_EQ(machine.mem_throttle(2), 0.4);
+  EXPECT_DOUBLE_EQ(machine.mem_throttle(1), 1.0);
+}
+
+TEST_F(MbaFixture, QuantisationRoundsDown) {
+  mba.set_clos_throttle(1, 37);
+  EXPECT_EQ(mba.clos_throttle(1), 30u);
+  mba.set_clos_throttle(1, 99);
+  EXPECT_EQ(mba.clos_throttle(1), 90u);
+  mba.set_clos_throttle(1, 100);
+  EXPECT_EQ(mba.clos_throttle(1), 100u);
+}
+
+TEST_F(MbaFixture, ClampedToGranularityFloor) {
+  mba.set_clos_throttle(1, 0);
+  EXPECT_EQ(mba.clos_throttle(1), 10u);
+  mba.set_clos_throttle(1, 250);
+  EXPECT_EQ(mba.clos_throttle(1), 100u);
+}
+
+TEST_F(MbaFixture, OutOfRangeThrows) {
+  EXPECT_THROW(mba.set_clos_throttle(16, 50), std::out_of_range);
+  EXPECT_THROW(mba.associate(10, 0), std::out_of_range);
+  EXPECT_THROW(mba.associate(0, 16), std::out_of_range);
+  EXPECT_THROW(mba.clos_of(10), std::out_of_range);
+  EXPECT_THROW(mba.clos_throttle(16), std::out_of_range);
+}
+
+TEST_F(MbaFixture, AssociationPicksUpThrottle) {
+  mba.set_clos_throttle(7, 20);
+  mba.associate(3, 7);
+  EXPECT_EQ(mba.clos_of(3), 7u);
+  EXPECT_DOUBLE_EQ(machine.mem_throttle(3), 0.2);
+}
+
+TEST_F(MbaFixture, ResetRestoresFullBandwidth) {
+  mba.associate(3, 7);
+  mba.set_clos_throttle(7, 20);
+  mba.reset();
+  EXPECT_EQ(mba.clos_of(3), 0u);
+  EXPECT_DOUBLE_EQ(machine.mem_throttle(3), 1.0);
+  EXPECT_EQ(mba.clos_throttle(7), 100u);
+}
+
+TEST(MbaController, BadGranularityRejected) {
+  Machine machine{MachineConfig{}};
+  auto cap = Capability::probe(machine, true);
+  cap.mba_granularity_pct = 0;
+  EXPECT_THROW(MbaController(machine, cap), std::invalid_argument);
+  cap.mba_granularity_pct = 101;
+  EXPECT_THROW(MbaController(machine, cap), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dicer::rdt

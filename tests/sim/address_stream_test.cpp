@@ -1,0 +1,88 @@
+#include "sim/cache/address_stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dicer::sim {
+namespace {
+
+TEST(WorkingSetStream, StaysInsideWorkingSet) {
+  WorkingSetStream s(4096, 1 << 20, util::Xoshiro256(1));
+  for (int i = 0; i < 10000; ++i) {
+    const auto a = s.next();
+    EXPECT_GE(a, 1u << 20);
+    EXPECT_LT(a, (1u << 20) + 4096u);
+    EXPECT_EQ(a % 64, 0u);  // line aligned
+  }
+}
+
+TEST(WorkingSetStream, CoversAllLines) {
+  WorkingSetStream s(8 * 64, 0, util::Xoshiro256(2));
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(s.next());
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(WorkingSetStream, TooSmallThrows) {
+  EXPECT_THROW(WorkingSetStream(32, 0, util::Xoshiro256(3)),
+               std::invalid_argument);
+}
+
+TEST(StreamingStream, SequentialWithWrap) {
+  StreamingStream s(256, 64, 1000);
+  EXPECT_EQ(s.next(), 1000u);
+  EXPECT_EQ(s.next(), 1064u);
+  EXPECT_EQ(s.next(), 1128u);
+  EXPECT_EQ(s.next(), 1192u);
+  EXPECT_EQ(s.next(), 1000u);  // wrapped
+}
+
+TEST(StreamingStream, NeverRepeatsWithinRegion) {
+  StreamingStream s(1 << 20, 64, 0);
+  std::set<std::uint64_t> seen;
+  const int lines = (1 << 20) / 64;
+  for (int i = 0; i < lines; ++i) EXPECT_TRUE(seen.insert(s.next()).second);
+}
+
+TEST(StreamingStream, BadConfigThrows) {
+  EXPECT_THROW(StreamingStream(64, 0, 0), std::invalid_argument);
+  EXPECT_THROW(StreamingStream(32, 64, 0), std::invalid_argument);
+}
+
+TEST(BimodalStream, RespectsHotFraction) {
+  BimodalStream s(4096, 1 << 20, 0.8, 0, util::Xoshiro256(4));
+  int hot = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (s.next() < 4096u) ++hot;
+  }
+  EXPECT_NEAR(static_cast<double>(hot) / n, 0.8, 0.02);
+}
+
+TEST(BimodalStream, ColdRegionDisjointFromHot) {
+  BimodalStream s(4096, 1 << 16, 0.5, 0, util::Xoshiro256(5));
+  for (int i = 0; i < 10000; ++i) {
+    const auto a = s.next();
+    EXPECT_TRUE(a < 4096u || a >= (1ull << 40));
+  }
+}
+
+TEST(MixedStream, ReuseFractionRespected) {
+  MixedStream s(4096, 0.6, 0, util::Xoshiro256(6));
+  int reuse = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (s.next() < 4096u) ++reuse;
+  }
+  EXPECT_NEAR(static_cast<double>(reuse) / n, 0.6, 0.02);
+}
+
+TEST(Streams, DeterministicForSameSeed) {
+  WorkingSetStream a(1 << 16, 0, util::Xoshiro256(9));
+  WorkingSetStream b(1 << 16, 0, util::Xoshiro256(9));
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+}  // namespace
+}  // namespace dicer::sim

@@ -1,0 +1,141 @@
+#include "sim/core/app_profile.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dicer::sim {
+namespace {
+
+AppProfile two_phase() {
+  AppProfile a;
+  a.name = "test";
+  AppPhase p1;
+  p1.name = "first";
+  p1.instructions = 100.0;
+  p1.api = 0.01;
+  AppPhase p2;
+  p2.name = "second";
+  p2.instructions = 300.0;
+  p2.api = 0.02;
+  a.phases = {p1, p2};
+  return a;
+}
+
+TEST(AppProfile, TotalInstructions) {
+  EXPECT_DOUBLE_EQ(two_phase().total_instructions(), 400.0);
+}
+
+TEST(AppProfile, MeanApiWeightedByLength) {
+  // (0.01*100 + 0.02*300) / 400 = 0.0175
+  EXPECT_DOUBLE_EQ(two_phase().mean_api(), 0.0175);
+}
+
+TEST(AppRuntime, RequiresPhases) {
+  AppProfile empty;
+  EXPECT_THROW(AppRuntime{&empty}, std::invalid_argument);
+  EXPECT_THROW(AppRuntime{nullptr}, std::invalid_argument);
+}
+
+TEST(AppRuntime, RejectsNonPositivePhase) {
+  AppProfile a;
+  AppPhase p;
+  p.instructions = 0.0;
+  a.phases = {p};
+  EXPECT_THROW(AppRuntime{&a}, std::invalid_argument);
+}
+
+TEST(AppRuntime, AdvancesWithinPhase) {
+  const auto profile = two_phase();
+  AppRuntime rt(&profile);
+  EXPECT_EQ(rt.advance(50.0), 0u);
+  EXPECT_EQ(rt.phase_index(), 0u);
+  EXPECT_DOUBLE_EQ(rt.run_progress(), 0.125);
+}
+
+TEST(AppRuntime, CrossesPhaseBoundary) {
+  const auto profile = two_phase();
+  AppRuntime rt(&profile);
+  rt.advance(150.0);
+  EXPECT_EQ(rt.phase_index(), 1u);
+  EXPECT_EQ(rt.current_phase().name, "second");
+  EXPECT_DOUBLE_EQ(rt.run_progress(), 150.0 / 400.0);
+}
+
+TEST(AppRuntime, ExactBoundaryEntersNextPhase) {
+  const auto profile = two_phase();
+  AppRuntime rt(&profile);
+  rt.advance(100.0);
+  EXPECT_EQ(rt.phase_index(), 1u);
+  EXPECT_DOUBLE_EQ(rt.run_progress(), 0.25);
+}
+
+TEST(AppRuntime, CompletesAndRestarts) {
+  const auto profile = two_phase();
+  AppRuntime rt(&profile);
+  EXPECT_EQ(rt.advance(400.0), 1u);
+  EXPECT_EQ(rt.completions(), 1u);
+  EXPECT_EQ(rt.phase_index(), 0u);
+  EXPECT_DOUBLE_EQ(rt.run_progress(), 0.0);
+}
+
+TEST(AppRuntime, MultipleCompletionsInOneAdvance) {
+  const auto profile = two_phase();
+  AppRuntime rt(&profile);
+  EXPECT_EQ(rt.advance(1000.0), 2u);
+  EXPECT_EQ(rt.completions(), 2u);
+  // 1000 = 2*400 + 200: phase 1, 100 instructions in.
+  EXPECT_EQ(rt.phase_index(), 1u);
+  EXPECT_DOUBLE_EQ(rt.run_progress(), 0.5);
+}
+
+TEST(AppRuntime, TotalRetiredAccumulates) {
+  const auto profile = two_phase();
+  AppRuntime rt(&profile);
+  rt.advance(123.0);
+  rt.advance(456.0);
+  EXPECT_DOUBLE_EQ(rt.instructions_retired_total(), 579.0);
+}
+
+TEST(AppRuntime, ResetRestoresInitialState) {
+  const auto profile = two_phase();
+  AppRuntime rt(&profile);
+  rt.advance(450.0);
+  rt.reset();
+  EXPECT_EQ(rt.completions(), 0u);
+  EXPECT_EQ(rt.phase_index(), 0u);
+  EXPECT_DOUBLE_EQ(rt.instructions_retired_total(), 0.0);
+  EXPECT_DOUBLE_EQ(rt.run_progress(), 0.0);
+}
+
+TEST(AppClass, Names) {
+  EXPECT_STREQ(to_string(AppClass::kComputeBound), "compute-bound");
+  EXPECT_STREQ(to_string(AppClass::kCacheFriendly), "cache-friendly");
+  EXPECT_STREQ(to_string(AppClass::kCacheHungry), "cache-hungry");
+  EXPECT_STREQ(to_string(AppClass::kStreaming), "streaming");
+}
+
+class AdvanceGranularity : public ::testing::TestWithParam<double> {};
+
+TEST_P(AdvanceGranularity, ProgressIndependentOfStepSize) {
+  // Retiring N instructions in many small steps lands in the same place as
+  // one big step — the property the quantum-stepped machine relies on.
+  const auto profile = two_phase();
+  AppRuntime fine(&profile), coarse(&profile);
+  const double step = GetParam();
+  const double target = 950.0;
+  double done = 0.0;
+  while (done + step <= target) {
+    fine.advance(step);
+    done += step;
+  }
+  fine.advance(target - done);
+  coarse.advance(target);
+  EXPECT_EQ(fine.completions(), coarse.completions());
+  EXPECT_EQ(fine.phase_index(), coarse.phase_index());
+  EXPECT_NEAR(fine.run_progress(), coarse.run_progress(), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Steps, AdvanceGranularity,
+                         ::testing::Values(1.0, 7.0, 33.0, 399.0));
+
+}  // namespace
+}  // namespace dicer::sim

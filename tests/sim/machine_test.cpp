@@ -1,0 +1,233 @@
+#include "sim/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/core/catalog.hpp"
+
+namespace dicer::sim {
+namespace {
+
+const AppProfile& app(const char* name) {
+  return default_catalog().by_name(name);
+}
+
+TEST(Machine, ValidatesConfig) {
+  MachineConfig c;
+  c.num_cores = 0;
+  EXPECT_THROW(Machine{c}, std::invalid_argument);
+  c = MachineConfig{};
+  c.quantum_sec = 0.0;
+  EXPECT_THROW(Machine{c}, std::invalid_argument);
+  c = MachineConfig{};
+  c.freq_hz = -1.0;
+  EXPECT_THROW(Machine{c}, std::invalid_argument);
+  c = MachineConfig{};
+  c.llc.ways = 0;
+  EXPECT_THROW(Machine{c}, std::invalid_argument);
+}
+
+TEST(Machine, AttachDetachLifecycle) {
+  Machine m{MachineConfig{}};
+  EXPECT_FALSE(m.occupied(0));
+  m.attach(0, &app("namd1"));
+  EXPECT_TRUE(m.occupied(0));
+  EXPECT_THROW(m.attach(0, &app("namd1")), std::logic_error);
+  m.detach(0);
+  EXPECT_FALSE(m.occupied(0));
+  m.detach(0);  // idempotent
+  EXPECT_THROW(m.attach(10, &app("namd1")), std::out_of_range);
+}
+
+TEST(Machine, RuntimeAccess) {
+  Machine m{MachineConfig{}};
+  EXPECT_THROW(m.runtime(0), std::logic_error);
+  m.attach(0, &app("namd1"));
+  EXPECT_EQ(m.runtime(0).profile().name, "namd1");
+}
+
+TEST(Machine, FillMaskValidation) {
+  Machine m{MachineConfig{}};
+  EXPECT_THROW(m.set_fill_mask(0, WayMask()), std::invalid_argument);
+  EXPECT_THROW(m.set_fill_mask(0, WayMask::span(15, 10)),
+               std::invalid_argument);
+  m.set_fill_mask(0, WayMask::low(5));
+  EXPECT_EQ(m.fill_mask(0), WayMask::low(5));
+}
+
+TEST(Machine, MemThrottleValidation) {
+  Machine m{MachineConfig{}};
+  EXPECT_THROW(m.set_mem_throttle(0, 0.0), std::invalid_argument);
+  EXPECT_THROW(m.set_mem_throttle(0, 1.5), std::invalid_argument);
+  m.set_mem_throttle(0, 0.4);
+  EXPECT_DOUBLE_EQ(m.mem_throttle(0), 0.4);
+}
+
+TEST(Machine, TimeAdvancesPerQuantum) {
+  Machine m{MachineConfig{}};
+  m.step();
+  EXPECT_DOUBLE_EQ(m.time_sec(), m.config().quantum_sec);
+  m.run_for(1.0);
+  EXPECT_NEAR(m.time_sec(), 1.0 + m.config().quantum_sec, 1e-9);
+}
+
+TEST(Machine, IdleMachineAccumulatesNothing) {
+  Machine m{MachineConfig{}};
+  m.run_for(1.0);
+  EXPECT_DOUBLE_EQ(m.telemetry(0).instructions, 0.0);
+  EXPECT_DOUBLE_EQ(m.last_link_traffic(), 0.0);
+}
+
+TEST(Machine, TelemetryAccumulates) {
+  Machine m{MachineConfig{}};
+  m.attach(0, &app("gcc_base3"));
+  m.run_for(1.0);
+  const auto& t = m.telemetry(0);
+  EXPECT_GT(t.instructions, 0.0);
+  EXPECT_NEAR(t.active_cycles, m.config().freq_hz * 1.0, 1.0);
+  EXPECT_GT(t.mem_bytes, 0.0);
+  EXPECT_GT(t.occupancy_bytes, 0.0);
+  EXPECT_GT(t.last_quantum_ipc, 0.0);
+}
+
+TEST(Machine, SoloIpcIsSane) {
+  Machine m{MachineConfig{}};
+  m.attach(0, &app("povray1"));
+  m.run_for(2.0);
+  const auto& t = m.telemetry(0);
+  const double ipc = t.instructions / t.active_cycles;
+  EXPECT_GT(ipc, 1.0);  // povray is compute bound
+  EXPECT_LT(ipc, 2.5);
+}
+
+TEST(Machine, CompletionsCountWholeRuns) {
+  Machine m{MachineConfig{}};
+  m.attach(0, &app("milc1"));
+  while (m.telemetry(0).completions == 0 && m.time_sec() < 200.0) m.step();
+  EXPECT_GE(m.telemetry(0).completions, 1u);
+  EXPECT_LT(m.time_sec(), 200.0) << "milc1 never completed";
+}
+
+TEST(Machine, AchievedTrafficNeverExceedsLinkCapacity) {
+  Machine m{MachineConfig{}};
+  for (unsigned c = 0; c < 10; ++c) m.attach(c, &app("lbm1"));
+  m.run_for(3.0);  // past lbm's init phase, into the streaming solver
+  EXPECT_LE(m.last_link_traffic(),
+            m.config().link.capacity_bytes_per_sec * 1.001);
+  EXPECT_GT(m.last_link_utilisation(), 1.0);  // 10x lbm oversubscribes
+}
+
+TEST(Machine, ContentionSlowsEveryoneDown) {
+  MachineConfig cfg;
+  Machine solo{cfg};
+  solo.attach(0, &app("omnetpp1"));
+  solo.run_for(2.0);
+  const double ipc_solo =
+      solo.telemetry(0).instructions / solo.telemetry(0).active_cycles;
+
+  Machine crowded{cfg};
+  crowded.attach(0, &app("omnetpp1"));
+  for (unsigned c = 1; c < 10; ++c) crowded.attach(c, &app("gcc_base3"));
+  crowded.run_for(2.0);
+  const double ipc_crowded =
+      crowded.telemetry(0).instructions / crowded.telemetry(0).active_cycles;
+
+  EXPECT_LT(ipc_crowded, ipc_solo);
+}
+
+TEST(Machine, PartitionProtectsCacheSensitiveApp) {
+  // Isolating omnetpp behind a 19-way partition must beat being squeezed
+  // in the unmanaged melee with nine gcc instances.
+  MachineConfig cfg;
+  auto run = [&](bool partitioned) {
+    Machine m{cfg};
+    m.attach(0, &app("omnetpp1"));
+    for (unsigned c = 1; c < 10; ++c) m.attach(c, &app("gcc_base3"));
+    if (partitioned) {
+      m.set_fill_mask(0, WayMask::high(19, 20));
+      for (unsigned c = 1; c < 10; ++c) m.set_fill_mask(c, WayMask::low(1));
+    }
+    m.run_for(3.0);
+    return m.telemetry(0).instructions / m.telemetry(0).active_cycles;
+  };
+  EXPECT_GT(run(true), run(false));
+}
+
+TEST(Machine, SqueezedNeighboursRaiseLinkUtilisation) {
+  // CT's side effect (paper 2.3.2): containing BEs in one way multiplies
+  // their miss traffic.
+  MachineConfig cfg;
+  auto rho = [&](bool squeezed) {
+    Machine m{cfg};
+    for (unsigned c = 0; c < 10; ++c) m.attach(c, &app("gcc_base3"));
+    if (squeezed) {
+      m.set_fill_mask(0, WayMask::high(19, 20));
+      for (unsigned c = 1; c < 10; ++c) m.set_fill_mask(c, WayMask::low(1));
+    }
+    m.run_for(2.0);
+    return m.last_link_utilisation();
+  };
+  EXPECT_GT(rho(true), rho(false));
+}
+
+TEST(Machine, MemThrottleSlowsMemoryBoundApp) {
+  MachineConfig cfg;
+  auto ipc_with_throttle = [&](double t) {
+    Machine m{cfg};
+    m.attach(0, &app("lbm1"));
+    m.set_mem_throttle(0, t);
+    m.run_for(2.0);
+    return m.telemetry(0).instructions / m.telemetry(0).active_cycles;
+  };
+  EXPECT_LT(ipc_with_throttle(0.2), 0.8 * ipc_with_throttle(1.0));
+}
+
+TEST(Machine, MaskChangeTakesEffect) {
+  // Shrinking a cache-hungry app's partition lowers its quantum IPC.
+  Machine m{MachineConfig{}};
+  m.attach(0, &app("omnetpp1"));
+  m.set_fill_mask(0, WayMask::full(20));
+  m.run_for(1.0);
+  const double ipc_big = m.telemetry(0).last_quantum_ipc;
+  m.set_fill_mask(0, WayMask::low(1));
+  m.run_for(1.0);
+  const double ipc_small = m.telemetry(0).last_quantum_ipc;
+  EXPECT_LT(ipc_small, ipc_big);
+}
+
+TEST(Machine, DeterministicAcrossRuns) {
+  auto run = []() {
+    Machine m{MachineConfig{}};
+    m.attach(0, &app("milc1"));
+    m.attach(1, &app("gcc_base3"));
+    m.run_for(1.0);
+    return m.telemetry(0).instructions;
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+class MachineCoreCount : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(MachineCoreCount, MoreNeighboursNeverHelp) {
+  const unsigned n = GetParam();
+  MachineConfig cfg;
+  Machine m{cfg};
+  m.attach(0, &app("soplex1"));
+  for (unsigned c = 1; c < n; ++c) m.attach(c, &app("bzip22"));
+  m.run_for(2.0);
+  const double ipc = m.telemetry(0).instructions / m.telemetry(0).active_cycles;
+
+  Machine more{cfg};
+  more.attach(0, &app("soplex1"));
+  for (unsigned c = 1; c < n + 1; ++c) more.attach(c, &app("bzip22"));
+  more.run_for(2.0);
+  const double ipc_more =
+      more.telemetry(0).instructions / more.telemetry(0).active_cycles;
+
+  EXPECT_LE(ipc_more, ipc * 1.001);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cores, MachineCoreCount,
+                         ::testing::Values(2u, 4u, 6u, 9u));
+
+}  // namespace
+}  // namespace dicer::sim

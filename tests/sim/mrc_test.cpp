@@ -1,0 +1,169 @@
+#include "sim/cache/mrc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace dicer::sim {
+namespace {
+
+constexpr double MB = 1024.0 * 1024.0;
+
+TEST(MissRatioCurve, DefaultIsZeroMiss) {
+  MissRatioCurve mrc;
+  EXPECT_DOUBLE_EQ(mrc.at(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(mrc.floor(), 0.0);
+  EXPECT_DOUBLE_EQ(mrc.ceiling(), 0.0);
+}
+
+TEST(MissRatioCurve, CeilingAtZeroBytes) {
+  const auto mrc = MissRatioCurve::single_knee(0.6, 2 * MB, 0.1);
+  EXPECT_DOUBLE_EQ(mrc.at(0.0), 0.7);
+  EXPECT_DOUBLE_EQ(mrc.ceiling(), 0.7);
+}
+
+TEST(MissRatioCurve, FloorAtFullCoverage) {
+  const auto mrc = MissRatioCurve::single_knee(0.6, 2 * MB, 0.1);
+  EXPECT_DOUBLE_EQ(mrc.at(2 * MB), 0.1);
+  EXPECT_DOUBLE_EQ(mrc.at(100 * MB), 0.1);
+}
+
+TEST(MissRatioCurve, UniformReuseIsLinear) {
+  const auto mrc = MissRatioCurve(0.0, {{1.0, 10 * MB, 1.0}});
+  EXPECT_NEAR(mrc.at(5 * MB), 0.5, 1e-12);
+  EXPECT_NEAR(mrc.at(2.5 * MB), 0.75, 1e-12);
+}
+
+TEST(MissRatioCurve, SkewedReuseGainsEarly) {
+  const auto uniform = MissRatioCurve(0.0, {{1.0, 10 * MB, 1.0}});
+  const auto skewed = MissRatioCurve(0.0, {{1.0, 10 * MB, 2.0}});
+  // At half coverage the skewed curve has already dropped further.
+  EXPECT_LT(skewed.at(5 * MB), uniform.at(5 * MB));
+}
+
+TEST(MissRatioCurve, NegativeBytesTreatedAsZero) {
+  const auto mrc = MissRatioCurve::single_knee(0.5, MB);
+  EXPECT_DOUBLE_EQ(mrc.at(-1.0), mrc.at(0.0));
+}
+
+TEST(MissRatioCurve, DoubleKneeOrdering) {
+  const auto mrc = MissRatioCurve::double_knee(0.3, 2 * MB, 0.4, 20 * MB, 0.05);
+  // Covering the small set removes its mass; the big set still misses.
+  EXPECT_NEAR(mrc.at(2 * MB), 0.05 + 0.4 * std::pow(0.9, 1.5), 1e-9);
+  EXPECT_DOUBLE_EQ(mrc.at(20 * MB), 0.05);
+}
+
+TEST(MissRatioCurve, StreamingIsNearlyFlat) {
+  const auto mrc = MissRatioCurve::streaming(0.9);
+  EXPECT_GE(mrc.at(0.0), 0.9);
+  EXPECT_GE(mrc.at(25 * MB), 0.9);
+  EXPECT_LE(mrc.at(25 * MB) - mrc.floor(), 1e-9);
+}
+
+TEST(MissRatioCurve, ValidationRejectsBadInput) {
+  EXPECT_THROW(MissRatioCurve(-0.1, {}), std::invalid_argument);
+  EXPECT_THROW(MissRatioCurve(1.1, {}), std::invalid_argument);
+  EXPECT_THROW(MissRatioCurve(0.0, {{-0.1, MB, 1.0}}), std::invalid_argument);
+  EXPECT_THROW(MissRatioCurve(0.0, {{0.5, 0.0, 1.0}}), std::invalid_argument);
+  EXPECT_THROW(MissRatioCurve(0.0, {{0.5, MB, 0.0}}), std::invalid_argument);
+  EXPECT_THROW(MissRatioCurve(0.5, {{0.6, MB, 1.0}}), std::invalid_argument);
+}
+
+TEST(MissRatioCurve, MassExactlyOneAccepted) {
+  EXPECT_NO_THROW(MissRatioCurve(0.4, {{0.6, MB, 1.0}}));
+}
+
+TEST(MissRatioCurve, BytesForMissRatioInverts) {
+  const auto mrc = MissRatioCurve::single_knee(0.6, 8 * MB, 0.05, 1.0);
+  const double target = 0.25;
+  const double bytes = mrc.bytes_for_miss_ratio(target, 32 * MB);
+  EXPECT_NEAR(mrc.at(bytes), target, 1e-6);
+}
+
+TEST(MissRatioCurve, BytesForMissRatioEdgeCases) {
+  const auto mrc = MissRatioCurve::single_knee(0.6, 8 * MB, 0.05);
+  // Already satisfied at zero.
+  EXPECT_DOUBLE_EQ(mrc.bytes_for_miss_ratio(0.9, 32 * MB), 0.0);
+  // Unreachable below the floor.
+  EXPECT_DOUBLE_EQ(mrc.bytes_for_miss_ratio(0.01, 32 * MB), 32 * MB);
+}
+
+TEST(MissRatioCurve, FootprintSumsComponents) {
+  const auto mrc = MissRatioCurve::double_knee(0.3, 2 * MB, 0.4, 20 * MB);
+  EXPECT_DOUBLE_EQ(mrc.footprint_bytes(), 22 * MB);
+}
+
+TEST(MissRatioCurve, StreamFraction) {
+  const auto mrc = MissRatioCurve::single_knee(0.6, MB, 0.2);
+  EXPECT_NEAR(mrc.stream_fraction(), 0.25, 1e-12);
+  EXPECT_DOUBLE_EQ(MissRatioCurve().stream_fraction(), 0.0);
+}
+
+struct CurveCase {
+  const char* name;
+  MissRatioCurve mrc;
+};
+
+class MrcProperty : public ::testing::TestWithParam<int> {
+ public:
+  static std::vector<MissRatioCurve> curves() {
+    return {
+        MissRatioCurve::streaming(0.92),
+        MissRatioCurve::single_knee(0.6, 3 * MB, 0.03),
+        MissRatioCurve::single_knee(0.77, 0.5 * MB, 0.03, 2.0),
+        MissRatioCurve::double_knee(0.28, 3.5 * MB, 0.42, 48 * MB, 0.02),
+        MissRatioCurve(0.1, {{0.2, MB, 1.0}, {0.3, 4 * MB, 1.5},
+                             {0.1, 20 * MB, 2.5}}),
+    };
+  }
+};
+
+TEST_P(MrcProperty, MonotoneNonIncreasingAndBounded) {
+  const auto mrc = curves()[static_cast<std::size_t>(GetParam())];
+  double prev = 1.1;
+  for (double x = 0.0; x <= 64 * MB; x += 0.25 * MB) {
+    const double m = mrc.at(x);
+    EXPECT_LE(m, prev + 1e-12) << "at " << x;
+    EXPECT_GE(m, 0.0);
+    EXPECT_LE(m, 1.0);
+    prev = m;
+  }
+  EXPECT_NEAR(mrc.at(1e15), mrc.floor(), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Curves, MrcProperty, ::testing::Range(0, 5));
+
+TEST(EmpiricalMrc, InterpolatesLinearly) {
+  EmpiricalMrc mrc({{0.0, 1.0}, {10.0, 0.5}, {20.0, 0.1}});
+  EXPECT_DOUBLE_EQ(mrc.at(5.0), 0.75);
+  EXPECT_DOUBLE_EQ(mrc.at(15.0), 0.3);
+}
+
+TEST(EmpiricalMrc, ClampsToEndpoints) {
+  EmpiricalMrc mrc({{10.0, 0.8}, {20.0, 0.2}});
+  EXPECT_DOUBLE_EQ(mrc.at(0.0), 0.8);
+  EXPECT_DOUBLE_EQ(mrc.at(100.0), 0.2);
+}
+
+TEST(EmpiricalMrc, EmptyMissesEverything) {
+  EmpiricalMrc mrc;
+  EXPECT_TRUE(mrc.empty());
+  EXPECT_DOUBLE_EQ(mrc.at(5.0), 1.0);
+}
+
+TEST(EmpiricalMrc, RejectsUnsortedOrOutOfRange) {
+  EXPECT_THROW(EmpiricalMrc({{10.0, 0.5}, {5.0, 0.6}}), std::invalid_argument);
+  EXPECT_THROW(EmpiricalMrc({{0.0, 1.5}}), std::invalid_argument);
+  EXPECT_THROW(EmpiricalMrc({{-1.0, 0.5}}), std::invalid_argument);
+}
+
+TEST(EmpiricalMrc, MonotonicityViolationMeasured) {
+  EmpiricalMrc good({{0.0, 0.9}, {1.0, 0.5}});
+  EXPECT_DOUBLE_EQ(good.monotonicity_violation(), 0.0);
+  EmpiricalMrc bad({{0.0, 0.5}, {1.0, 0.7}});
+  EXPECT_NEAR(bad.monotonicity_violation(), 0.2, 1e-12);
+}
+
+}  // namespace
+}  // namespace dicer::sim

@@ -1,0 +1,183 @@
+#include "sim/cache/occupancy_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace dicer::sim {
+namespace {
+
+constexpr double MB = 1024.0 * 1024.0;
+constexpr double GBs = 1024.0 * 1024.0 * 1024.0;
+
+double total(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+TEST(DecomposeRegions, SingleSharedRegion) {
+  std::vector<WayMask> masks(3, WayMask::full(20));
+  const auto regions = decompose_regions(masks, 20, MB);
+  ASSERT_EQ(regions.size(), 1u);
+  EXPECT_DOUBLE_EQ(regions[0].capacity_bytes, 20 * MB);
+  EXPECT_EQ(regions[0].sharers, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(DecomposeRegions, DisjointPartitions) {
+  std::vector<WayMask> masks = {WayMask::high(19, 20), WayMask::low(1),
+                                WayMask::low(1)};
+  const auto regions = decompose_regions(masks, 20, MB);
+  ASSERT_EQ(regions.size(), 2u);
+  // Region order: by sharer bitmask value — BE region {1,2} has mask 0b110,
+  // HP region {0} has mask 0b001.
+  double hp_cap = 0.0, be_cap = 0.0;
+  for (const auto& r : regions) {
+    if (r.sharers == std::vector<std::size_t>{0}) hp_cap = r.capacity_bytes;
+    if (r.sharers == (std::vector<std::size_t>{1, 2})) {
+      be_cap = r.capacity_bytes;
+    }
+  }
+  EXPECT_DOUBLE_EQ(hp_cap, 19 * MB);
+  EXPECT_DOUBLE_EQ(be_cap, 1 * MB);
+}
+
+TEST(DecomposeRegions, OverlappingMasksSplit) {
+  // App 0: ways 0-9; app 1: ways 5-14 -> three regions.
+  std::vector<WayMask> masks = {WayMask::span(0, 10), WayMask::span(5, 10)};
+  const auto regions = decompose_regions(masks, 20, MB);
+  ASSERT_EQ(regions.size(), 3u);
+  double cap_sum = 0.0;
+  for (const auto& r : regions) cap_sum += r.capacity_bytes;
+  EXPECT_DOUBLE_EQ(cap_sum, 15 * MB);  // ways 15-19 unused, dropped
+}
+
+TEST(DecomposeRegions, UnusedWaysDropped) {
+  std::vector<WayMask> masks = {WayMask::low(4)};
+  const auto regions = decompose_regions(masks, 20, MB);
+  ASSERT_EQ(regions.size(), 1u);
+  EXPECT_DOUBLE_EQ(regions[0].capacity_bytes, 4 * MB);
+}
+
+TEST(DecomposeRegions, TooManyAppsThrows) {
+  std::vector<WayMask> masks(65, WayMask::full(20));
+  EXPECT_THROW(decompose_regions(masks, 20, MB), std::invalid_argument);
+}
+
+CacheDemand reuse_app(double rate, double footprint) {
+  CacheDemand d;
+  d.reuse = {{rate, footprint}};
+  return d;
+}
+
+CacheDemand stream_app(double rate) {
+  CacheDemand d;
+  d.stream_bytes_per_sec = rate;
+  return d;
+}
+
+TEST(SolveOccupancy, LoneStreamerFillsRegion) {
+  std::vector<WayMask> masks = {WayMask::full(20)};
+  const auto regions = decompose_regions(masks, 20, MB);
+  const auto occ = solve_occupancy(regions, 1, {stream_app(1 * GBs)});
+  EXPECT_NEAR(occ[0], 20 * MB, 0.01 * MB);
+}
+
+TEST(SolveOccupancy, LoneSmallFootprintDoesNotFill) {
+  std::vector<WayMask> masks = {WayMask::full(20)};
+  const auto regions = decompose_regions(masks, 20, MB);
+  const auto occ = solve_occupancy(regions, 1, {reuse_app(1 * GBs, 3 * MB)});
+  EXPECT_NEAR(occ[0], 3 * MB, 0.01 * MB);
+}
+
+TEST(SolveOccupancy, CapacityConserved) {
+  std::vector<WayMask> masks(4, WayMask::full(20));
+  const auto regions = decompose_regions(masks, 20, MB);
+  std::vector<CacheDemand> demand = {
+      stream_app(2 * GBs), reuse_app(1 * GBs, 40 * MB),
+      reuse_app(0.5 * GBs, 10 * MB), stream_app(1 * GBs)};
+  const auto occ = solve_occupancy(regions, 4, demand);
+  EXPECT_NEAR(total(occ), 20 * MB, 0.05 * MB);
+  for (double o : occ) EXPECT_GE(o, 0.0);
+}
+
+TEST(SolveOccupancy, HotSmallSetStaysResidentNextToStorm) {
+  // The physics that makes CT-Thwarted workloads exist: an L2-resident
+  // victim keeps its working set even next to nine streaming aggressors.
+  std::vector<WayMask> masks(10, WayMask::full(20));
+  const auto regions = decompose_regions(masks, 20, MB);
+  std::vector<CacheDemand> demand;
+  demand.push_back(reuse_app(0.5 * GBs, 1 * MB));  // hot victim
+  for (int i = 0; i < 9; ++i) demand.push_back(stream_app(3 * GBs));
+  const auto occ = solve_occupancy(regions, 10, demand);
+  EXPECT_GT(occ[0], 0.3 * MB);  // victim retains a useful fraction
+}
+
+TEST(SolveOccupancy, HigherRateEarnsMoreCache) {
+  std::vector<WayMask> masks(2, WayMask::full(20));
+  const auto regions = decompose_regions(masks, 20, MB);
+  const auto occ = solve_occupancy(
+      regions, 2, {reuse_app(4 * GBs, 100 * MB), reuse_app(1 * GBs, 100 * MB)});
+  EXPECT_GT(occ[0], occ[1]);
+  EXPECT_NEAR(occ[0] / occ[1], 4.0, 0.2);
+}
+
+TEST(SolveOccupancy, IsolatedPartitionUnaffectedByNeighbourStorm) {
+  std::vector<WayMask> masks = {WayMask::high(19, 20), WayMask::low(1)};
+  const auto regions = decompose_regions(masks, 20, MB);
+  const auto occ = solve_occupancy(
+      regions, 2, {reuse_app(1 * GBs, 5 * MB), stream_app(50 * GBs)});
+  EXPECT_NEAR(occ[0], 5 * MB, 0.05 * MB);  // full footprint, protected
+  EXPECT_NEAR(occ[1], 1 * MB, 0.05 * MB);  // storm confined to one way
+}
+
+TEST(SolveOccupancy, ZeroDemandGetsZero) {
+  std::vector<WayMask> masks(2, WayMask::full(20));
+  const auto regions = decompose_regions(masks, 20, MB);
+  const auto occ =
+      solve_occupancy(regions, 2, {reuse_app(1 * GBs, 50 * MB), CacheDemand{}});
+  EXPECT_DOUBLE_EQ(occ[1], 0.0);
+}
+
+TEST(SolveOccupancy, DemandSizeMismatchThrows) {
+  std::vector<WayMask> masks(2, WayMask::full(20));
+  const auto regions = decompose_regions(masks, 20, MB);
+  EXPECT_THROW(solve_occupancy(regions, 2, {CacheDemand{}}),
+               std::invalid_argument);
+}
+
+TEST(SolveOccupancy, MultiComponentHotFillsBeforeTail) {
+  std::vector<WayMask> masks(2, WayMask::full(4));
+  const auto regions = decompose_regions(masks, 4, MB);  // 4 MB total
+  CacheDemand app;
+  app.reuse = {{1 * GBs, 1 * MB},      // hot: covered fast
+               {0.05 * GBs, 20 * MB}}; // lukewarm tail
+  const auto occ =
+      solve_occupancy(regions, 2, {app, stream_app(2 * GBs)});
+  // The hot MB should be (nearly) fully covered despite the streamer.
+  EXPECT_GT(occ[0], 0.9 * MB);
+}
+
+// Conservation holds across arbitrary mask layouts.
+class OccupancyConservation : public ::testing::TestWithParam<int> {};
+
+TEST_P(OccupancyConservation, NeverExceedsEligibleCapacity) {
+  const int layout = GetParam();
+  std::vector<WayMask> masks;
+  switch (layout) {
+    case 0: masks = {WayMask::full(20), WayMask::full(20)}; break;
+    case 1: masks = {WayMask::high(19, 20), WayMask::low(1)}; break;
+    case 2: masks = {WayMask::span(0, 10), WayMask::span(5, 10)}; break;
+    default: masks = {WayMask::low(2), WayMask::span(2, 2)}; break;
+  }
+  const auto regions = decompose_regions(masks, 20, MB);
+  double capacity = 0.0;
+  for (const auto& r : regions) capacity += r.capacity_bytes;
+  const auto occ = solve_occupancy(
+      regions, 2, {stream_app(20 * GBs), stream_app(10 * GBs)});
+  EXPECT_LE(total(occ), capacity * 1.001);
+}
+
+INSTANTIATE_TEST_SUITE_P(Layouts, OccupancyConservation,
+                         ::testing::Range(0, 4));
+
+}  // namespace
+}  // namespace dicer::sim

@@ -1,0 +1,114 @@
+#include "sim/cache/way_mask.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dicer::sim {
+namespace {
+
+TEST(WayMask, DefaultIsEmpty) {
+  WayMask m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.count(), 0u);
+  EXPECT_FALSE(m.contiguous());
+}
+
+TEST(WayMask, SpanBasics) {
+  const auto m = WayMask::span(1, 19);
+  EXPECT_EQ(m.bits(), 0xffffeu);
+  EXPECT_EQ(m.count(), 19u);
+  EXPECT_EQ(m.lowest(), 1u);
+  EXPECT_EQ(m.highest(), 19u);
+  EXPECT_TRUE(m.contiguous());
+}
+
+TEST(WayMask, LowAndHigh) {
+  EXPECT_EQ(WayMask::low(1).bits(), 0x1u);
+  EXPECT_EQ(WayMask::high(1, 20).bits(), 0x80000u);
+  EXPECT_EQ(WayMask::high(19, 20).bits(), 0xffffeu);
+  EXPECT_EQ(WayMask::full(20).bits(), 0xfffffu);
+}
+
+TEST(WayMask, SpanZeroCountIsEmpty) {
+  EXPECT_TRUE(WayMask::span(3, 0).empty());
+}
+
+TEST(WayMask, SpanOutOfRangeThrows) {
+  EXPECT_THROW(WayMask::span(30, 4), std::out_of_range);
+  EXPECT_THROW(WayMask::span(0, 33), std::out_of_range);
+}
+
+TEST(WayMask, HighTooManyThrows) {
+  EXPECT_THROW(WayMask::high(21, 20), std::out_of_range);
+}
+
+TEST(WayMask, Full32Ways) {
+  EXPECT_EQ(WayMask::full(32).bits(), 0xffffffffu);
+  EXPECT_EQ(WayMask::full(32).count(), 32u);
+}
+
+TEST(WayMask, TestIndividualWays) {
+  const auto m = WayMask::span(2, 3);  // ways 2,3,4
+  EXPECT_FALSE(m.test(1));
+  EXPECT_TRUE(m.test(2));
+  EXPECT_TRUE(m.test(4));
+  EXPECT_FALSE(m.test(5));
+  EXPECT_FALSE(m.test(40));  // out of range is simply false
+}
+
+TEST(WayMask, ContiguityDetection) {
+  EXPECT_TRUE(WayMask(0b0110).contiguous());
+  EXPECT_TRUE(WayMask(0b1).contiguous());
+  EXPECT_FALSE(WayMask(0b0101).contiguous());
+  EXPECT_FALSE(WayMask(0).contiguous());
+}
+
+TEST(WayMask, SetOperations) {
+  const WayMask a = WayMask::low(4);         // 0..3
+  const WayMask b = WayMask::span(2, 4);     // 2..5
+  EXPECT_EQ((a & b).bits(), 0b1100u);
+  EXPECT_EQ((a | b).bits(), 0b111111u);
+  EXPECT_TRUE(a.overlaps(b));
+  EXPECT_FALSE(WayMask::low(2).overlaps(WayMask::span(2, 2)));
+}
+
+TEST(WayMask, Contains) {
+  EXPECT_TRUE(WayMask::full(20).contains(WayMask::span(5, 3)));
+  EXPECT_FALSE(WayMask::low(4).contains(WayMask::span(3, 2)));
+  EXPECT_TRUE(WayMask::low(4).contains(WayMask()));  // empty always contained
+}
+
+TEST(WayMask, Equality) {
+  EXPECT_EQ(WayMask::low(3), WayMask(0b111));
+  EXPECT_NE(WayMask::low(3), WayMask::low(2));
+}
+
+TEST(WayMask, ToStringContiguous) {
+  EXPECT_EQ(WayMask::span(1, 19).to_string(), "0xffffe (ways 1-19, 19 ways)");
+  EXPECT_EQ(WayMask().to_string(), "0x0 (empty)");
+}
+
+TEST(WayMask, ToStringNonContiguous) {
+  EXPECT_NE(WayMask(0b101).to_string().find("non-contiguous"),
+            std::string::npos);
+}
+
+// CT's split never overlaps and always covers the cache.
+class SplitProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SplitProperty, HpBePartitionIsExact) {
+  const unsigned hp_ways = GetParam();
+  const unsigned total = 20;
+  const auto be = WayMask::low(total - hp_ways);
+  const auto hp = WayMask::high(hp_ways, total);
+  EXPECT_FALSE(hp.overlaps(be));
+  EXPECT_EQ((hp | be), WayMask::full(total));
+  EXPECT_EQ(hp.count() + be.count(), total);
+  EXPECT_TRUE(hp.contiguous());
+  EXPECT_TRUE(be.contiguous());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSplits, SplitProperty,
+                         ::testing::Range(1u, 20u));
+
+}  // namespace
+}  // namespace dicer::sim

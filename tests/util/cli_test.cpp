@@ -1,0 +1,77 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dicer::util {
+namespace {
+
+CliArgs make(std::initializer_list<const char*> argv) {
+  std::vector<const char*> v(argv);
+  return CliArgs(static_cast<int>(v.size()), v.data());
+}
+
+TEST(CliArgs, KeyEqualsValue) {
+  const auto a = make({"prog", "--hp=milc1"});
+  EXPECT_EQ(a.get_or("hp", ""), "milc1");
+}
+
+TEST(CliArgs, KeySpaceValue) {
+  const auto a = make({"prog", "--hp", "milc1"});
+  EXPECT_EQ(a.get_or("hp", ""), "milc1");
+}
+
+TEST(CliArgs, BareFlag) {
+  const auto a = make({"prog", "--recompute"});
+  EXPECT_TRUE(a.has("recompute"));
+  EXPECT_TRUE(a.get_bool("recompute", false));
+}
+
+TEST(CliArgs, BareFlagFollowedByFlag) {
+  const auto a = make({"prog", "--recompute", "--cores", "5"});
+  EXPECT_TRUE(a.get_bool("recompute", false));
+  EXPECT_EQ(a.get_int("cores", 0), 5);
+}
+
+TEST(CliArgs, MissingKeyUsesDefault) {
+  const auto a = make({"prog"});
+  EXPECT_FALSE(a.has("x"));
+  EXPECT_EQ(a.get_or("x", "d"), "d");
+  EXPECT_EQ(a.get_int("x", 42), 42);
+  EXPECT_DOUBLE_EQ(a.get_double("x", 2.5), 2.5);
+  EXPECT_TRUE(a.get_bool("x", true));
+}
+
+TEST(CliArgs, NumericParsing) {
+  const auto a = make({"prog", "--n=12", "--f=0.75"});
+  EXPECT_EQ(a.get_int("n", 0), 12);
+  EXPECT_DOUBLE_EQ(a.get_double("f", 0.0), 0.75);
+}
+
+TEST(CliArgs, BoolSpellings) {
+  EXPECT_TRUE(make({"p", "--b=true"}).get_bool("b", false));
+  EXPECT_TRUE(make({"p", "--b=1"}).get_bool("b", false));
+  EXPECT_TRUE(make({"p", "--b=yes"}).get_bool("b", false));
+  EXPECT_TRUE(make({"p", "--b=on"}).get_bool("b", false));
+  EXPECT_FALSE(make({"p", "--b=false"}).get_bool("b", true));
+  EXPECT_FALSE(make({"p", "--b=0"}).get_bool("b", true));
+}
+
+TEST(CliArgs, PositionalArguments) {
+  const auto a = make({"prog", "one", "--k=v", "two"});
+  ASSERT_EQ(a.positional().size(), 2u);
+  EXPECT_EQ(a.positional()[0], "one");
+  EXPECT_EQ(a.positional()[1], "two");
+}
+
+TEST(CliArgs, ProgramName) {
+  EXPECT_EQ(make({"myprog"}).program(), "myprog");
+}
+
+TEST(CliArgs, OptionalGet) {
+  const auto a = make({"prog", "--k=v"});
+  EXPECT_TRUE(a.get("k").has_value());
+  EXPECT_FALSE(a.get("z").has_value());
+}
+
+}  // namespace
+}  // namespace dicer::util

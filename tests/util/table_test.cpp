@@ -1,0 +1,91 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dicer::util {
+namespace {
+
+TEST(TextTable, EmptyRendersNothing) {
+  TextTable t;
+  EXPECT_EQ(t.str(), "");
+}
+
+TEST(TextTable, HeaderSeparatorPresent) {
+  TextTable t;
+  t.set_header({"a", "b"});
+  t.add_row({"1", "22"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("a"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+  EXPECT_NE(s.find("22"), std::string::npos);
+}
+
+TEST(TextTable, ColumnsPaddedToWidest) {
+  TextTable t;
+  t.set_header({"col", "x"});
+  t.add_row({"longvalue", "1"});
+  const auto s = t.str();
+  // Header row and data row have the same length.
+  const auto nl1 = s.find('\n');
+  const auto nl2 = s.find('\n', nl1 + 1);
+  const auto nl3 = s.find('\n', nl2 + 1);
+  EXPECT_EQ(nl1, s.size() - (s.size() - nl1));  // trivial sanity
+  const std::string header = s.substr(0, nl1);
+  const std::string data = s.substr(nl2 + 1, nl3 - nl2 - 1);
+  EXPECT_EQ(header.size(), data.size());
+}
+
+TEST(TextTable, NumericRowFormatsDecimals) {
+  TextTable t;
+  t.set_header({"k", "v"});
+  t.add_row("pi", {3.14159}, 2);
+  EXPECT_NE(t.str().find("3.14"), std::string::npos);
+  EXPECT_EQ(t.str().find("3.142"), std::string::npos);
+}
+
+TEST(TextTable, FirstColumnLeftAlignedByDefault) {
+  TextTable t;
+  t.set_header({"name", "v"});
+  t.add_row({"x", "1"});
+  const auto s = t.str();
+  const auto line = s.substr(s.rfind('\n', s.size() - 2) + 1);
+  EXPECT_EQ(line.rfind("x", 0), 0u);  // "x" at the very start (left aligned)
+}
+
+TEST(TextTable, RuleInsertedBetweenRows) {
+  TextTable t;
+  t.set_header({"a"});
+  t.add_row({"1"});
+  t.add_rule();
+  t.add_row({"2"});
+  const auto s = t.str();
+  // Two rules: one under the header, one between rows.
+  std::size_t rules = 0, pos = 0;
+  while ((pos = s.find("-\n", pos)) != std::string::npos) {
+    ++rules;
+    pos += 2;
+  }
+  EXPECT_EQ(rules, 2u);
+}
+
+TEST(TextTable, NumRows) {
+  TextTable t;
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TextTable, RaggedRowsTolerated) {
+  TextTable t;
+  t.set_header({"a", "b", "c"});
+  t.add_row({"1"});
+  t.add_row({"1", "2", "3"});
+  EXPECT_NE(t.str().find("3"), std::string::npos);
+}
+
+TEST(Section, FormatsTitle) {
+  EXPECT_EQ(section("Hello"), "\n== Hello ==\n");
+}
+
+}  // namespace
+}  // namespace dicer::util

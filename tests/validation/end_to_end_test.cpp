@@ -1,0 +1,113 @@
+// End-to-end: the paper's headline DICER claims on a small but targeted
+// workload set, exercised through the same harness path the figure benches
+// use. These are the acceptance tests of the reproduction.
+#include <gtest/gtest.h>
+
+#include "harness/consolidation.hpp"
+#include "harness/solo.hpp"
+#include "metrics/metrics.hpp"
+#include "policy/factory.hpp"
+#include "sim/core/catalog.hpp"
+
+namespace dicer {
+namespace {
+
+using harness::ConsolidationConfig;
+using harness::run_consolidation;
+
+struct Outcome {
+  double hp_norm = 0.0;
+  double be_norm = 0.0;
+  double efu = 0.0;
+};
+
+Outcome run(const char* hp, const char* be, const char* policy,
+            unsigned cores = 10) {
+  const auto& catalog = sim::default_catalog();
+  ConsolidationConfig cfg;
+  cfg.cores_used = cores;
+  const double hp_alone =
+      harness::solo_steady_state(catalog.by_name(hp), 20, cfg.machine).ipc;
+  const double be_alone =
+      harness::solo_steady_state(catalog.by_name(be), 20, cfg.machine).ipc;
+  const auto pol = policy::make_policy(policy);
+  const auto res =
+      run_consolidation(catalog.by_name(hp), catalog.by_name(be), *pol, cfg);
+  return {res.hp_ipc / hp_alone, res.be_ipc_mean / be_alone,
+          metrics::effective_utilisation(res.ipc_pairs(hp_alone, be_alone))};
+}
+
+// Fig 5, CT-F panel: DICER tracks CT for the HP (within a few percent) and
+// beats CT for the BEs.
+TEST(EndToEnd, DicerTracksCtOnCtFavouredWorkload) {
+  const auto ct = run("omnetpp1", "gcc_base3", "CT");
+  const auto dicer = run("omnetpp1", "gcc_base3", "DICER");
+  EXPECT_GT(dicer.hp_norm, ct.hp_norm - 0.10);
+  EXPECT_GT(dicer.be_norm, ct.be_norm);
+}
+
+// Fig 5, CT-T panel: DICER tracks UM for the HP and still beats CT's BEs.
+TEST(EndToEnd, DicerTracksUmOnCtThwartedWorkload) {
+  const auto um = run("milc1", "gcc_base3", "UM");
+  const auto ct = run("milc1", "gcc_base3", "CT");
+  const auto dicer = run("milc1", "gcc_base3", "DICER");
+  EXPECT_GT(dicer.hp_norm, ct.hp_norm);
+  EXPECT_GT(dicer.hp_norm, um.hp_norm - 0.05);
+  EXPECT_GT(dicer.be_norm, ct.be_norm);
+}
+
+// Fig 6 ordering at full occupancy: UM >= DICER >= CT on utilisation, for
+// a BE-heavy cache-sensitive mix where CT wastes the most.
+TEST(EndToEnd, EfuOrderingUmDicerCt) {
+  const auto um = run("povray1", "gcc_base3", "UM");
+  const auto ct = run("povray1", "gcc_base3", "CT");
+  const auto dicer = run("povray1", "gcc_base3", "DICER");
+  EXPECT_GE(um.efu, dicer.efu - 0.02);
+  EXPECT_GT(dicer.efu, ct.efu);
+}
+
+// Fig 7 intent: DICER keeps the HP inside an 80% SLO where UM fails, on a
+// workload whose UM slowdown is deep.
+TEST(EndToEnd, DicerRescuesSloThatUmMisses) {
+  const auto um = run("omnetpp1", "gcc_base5", "UM");
+  const auto dicer = run("omnetpp1", "gcc_base5", "DICER");
+  EXPECT_LT(um.hp_norm, 0.80);
+  EXPECT_GE(dicer.hp_norm, 0.80);
+}
+
+// SUCI (Fig 8): DICER's combined index beats both baselines on a mixed
+// pair where neither extreme is right.
+TEST(EndToEnd, SuciPrefersDicer) {
+  const double slo = 0.80;
+  auto suci_of = [&](const char* pol) {
+    const auto o = run("Xalan1", "gcc_base7", pol);
+    return metrics::suci(o.hp_norm >= slo, o.efu, 1.0);
+  };
+  const double dicer = suci_of("DICER");
+  EXPECT_GE(dicer, suci_of("UM"));
+  EXPECT_GE(dicer, suci_of("CT"));
+}
+
+// Scaling with core count: DICER's BE benefit over CT grows as more BEs
+// pile into CT's single way (the Fig 6/7 trend).
+TEST(EndToEnd, DicerBeAdvantageGrowsWithCores) {
+  const auto few_ct = run("omnetpp1", "bzip22", "CT", 3);
+  const auto few_dicer = run("omnetpp1", "bzip22", "DICER", 3);
+  const auto many_ct = run("omnetpp1", "bzip22", "CT", 10);
+  const auto many_dicer = run("omnetpp1", "bzip22", "DICER", 10);
+  const double few_gain = few_dicer.be_norm - few_ct.be_norm;
+  const double many_gain = many_dicer.be_norm - many_ct.be_norm;
+  EXPECT_GT(many_gain, few_gain);
+}
+
+// The DICER-noBW ablation mirrors the related-work gap: without saturation
+// detection the controller stays at a fat HP allocation on a CT-T workload
+// and the HP ends up slower than with full DICER.
+TEST(EndToEnd, BwDetectionMattersOnCtThwartedWorkload) {
+  const auto full = run("milc1", "gcc_base3", "DICER");
+  const auto nobw = run("milc1", "gcc_base3", "DICER-noBW");
+  EXPECT_GE(full.hp_norm, nobw.hp_norm - 0.02);
+}
+
+}  // namespace
+}  // namespace dicer
