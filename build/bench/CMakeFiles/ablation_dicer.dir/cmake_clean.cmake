@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dicer.dir/ablation_dicer.cpp.o"
+  "CMakeFiles/ablation_dicer.dir/ablation_dicer.cpp.o.d"
+  "ablation_dicer"
+  "ablation_dicer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dicer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_slowdown_cdf.dir/fig1_slowdown_cdf.cpp.o"
+  "CMakeFiles/fig1_slowdown_cdf.dir/fig1_slowdown_cdf.cpp.o.d"
+  "fig1_slowdown_cdf"
+  "fig1_slowdown_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_slowdown_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

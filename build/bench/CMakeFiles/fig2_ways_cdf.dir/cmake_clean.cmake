@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_ways_cdf.dir/fig2_ways_cdf.cpp.o"
+  "CMakeFiles/fig2_ways_cdf.dir/fig2_ways_cdf.cpp.o.d"
+  "fig2_ways_cdf"
+  "fig2_ways_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_ways_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_efu_scatter.dir/fig4_efu_scatter.cpp.o"
+  "CMakeFiles/fig4_efu_scatter.dir/fig4_efu_scatter.cpp.o.d"
+  "fig4_efu_scatter"
+  "fig4_efu_scatter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_efu_scatter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_per_workload.dir/fig5_per_workload.cpp.o"
+  "CMakeFiles/fig5_per_workload.dir/fig5_per_workload.cpp.o.d"
+  "fig5_per_workload"
+  "fig5_per_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_per_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

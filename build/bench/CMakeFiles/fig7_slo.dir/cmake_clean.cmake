@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_slo.dir/fig7_slo.cpp.o"
+  "CMakeFiles/fig7_slo.dir/fig7_slo.cpp.o.d"
+  "fig7_slo"
+  "fig7_slo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_slo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_suci.dir/fig8_suci.cpp.o"
+  "CMakeFiles/fig8_suci.dir/fig8_suci.cpp.o.d"
+  "fig8_suci"
+  "fig8_suci.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_suci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table1_config.cpp" "bench/CMakeFiles/table1_config.dir/table1_config.cpp.o" "gcc" "bench/CMakeFiles/table1_config.dir/table1_config.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/dicer_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/dicer_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/dicer_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdt/CMakeFiles/dicer_rdt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dicer_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dicer_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/controller_trace.dir/controller_trace.cpp.o"
+  "CMakeFiles/controller_trace.dir/controller_trace.cpp.o.d"
+  "controller_trace"
+  "controller_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/controller_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

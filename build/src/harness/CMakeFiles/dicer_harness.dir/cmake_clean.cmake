@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dicer_harness.dir/consolidation.cpp.o"
+  "CMakeFiles/dicer_harness.dir/consolidation.cpp.o.d"
+  "CMakeFiles/dicer_harness.dir/solo.cpp.o"
+  "CMakeFiles/dicer_harness.dir/solo.cpp.o.d"
+  "CMakeFiles/dicer_harness.dir/sweep.cpp.o"
+  "CMakeFiles/dicer_harness.dir/sweep.cpp.o.d"
+  "CMakeFiles/dicer_harness.dir/workloads.cpp.o"
+  "CMakeFiles/dicer_harness.dir/workloads.cpp.o.d"
+  "libdicer_harness.a"
+  "libdicer_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dicer_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdicer_harness.a"
+)

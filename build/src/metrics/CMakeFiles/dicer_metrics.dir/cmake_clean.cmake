@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dicer_metrics.dir/metrics.cpp.o"
+  "CMakeFiles/dicer_metrics.dir/metrics.cpp.o.d"
+  "libdicer_metrics.a"
+  "libdicer_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dicer_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

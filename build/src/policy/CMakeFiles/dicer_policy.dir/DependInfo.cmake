@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/policy/admission.cpp" "src/policy/CMakeFiles/dicer_policy.dir/admission.cpp.o" "gcc" "src/policy/CMakeFiles/dicer_policy.dir/admission.cpp.o.d"
+  "/root/repo/src/policy/baselines.cpp" "src/policy/CMakeFiles/dicer_policy.dir/baselines.cpp.o" "gcc" "src/policy/CMakeFiles/dicer_policy.dir/baselines.cpp.o.d"
+  "/root/repo/src/policy/dicer.cpp" "src/policy/CMakeFiles/dicer_policy.dir/dicer.cpp.o" "gcc" "src/policy/CMakeFiles/dicer_policy.dir/dicer.cpp.o.d"
+  "/root/repo/src/policy/extensions.cpp" "src/policy/CMakeFiles/dicer_policy.dir/extensions.cpp.o" "gcc" "src/policy/CMakeFiles/dicer_policy.dir/extensions.cpp.o.d"
+  "/root/repo/src/policy/factory.cpp" "src/policy/CMakeFiles/dicer_policy.dir/factory.cpp.o" "gcc" "src/policy/CMakeFiles/dicer_policy.dir/factory.cpp.o.d"
+  "/root/repo/src/policy/policy.cpp" "src/policy/CMakeFiles/dicer_policy.dir/policy.cpp.o" "gcc" "src/policy/CMakeFiles/dicer_policy.dir/policy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rdt/CMakeFiles/dicer_rdt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dicer_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dicer_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dicer_policy.dir/admission.cpp.o"
+  "CMakeFiles/dicer_policy.dir/admission.cpp.o.d"
+  "CMakeFiles/dicer_policy.dir/baselines.cpp.o"
+  "CMakeFiles/dicer_policy.dir/baselines.cpp.o.d"
+  "CMakeFiles/dicer_policy.dir/dicer.cpp.o"
+  "CMakeFiles/dicer_policy.dir/dicer.cpp.o.d"
+  "CMakeFiles/dicer_policy.dir/extensions.cpp.o"
+  "CMakeFiles/dicer_policy.dir/extensions.cpp.o.d"
+  "CMakeFiles/dicer_policy.dir/factory.cpp.o"
+  "CMakeFiles/dicer_policy.dir/factory.cpp.o.d"
+  "CMakeFiles/dicer_policy.dir/policy.cpp.o"
+  "CMakeFiles/dicer_policy.dir/policy.cpp.o.d"
+  "libdicer_policy.a"
+  "libdicer_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dicer_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rdt/cat.cpp" "src/rdt/CMakeFiles/dicer_rdt.dir/cat.cpp.o" "gcc" "src/rdt/CMakeFiles/dicer_rdt.dir/cat.cpp.o.d"
+  "/root/repo/src/rdt/mba.cpp" "src/rdt/CMakeFiles/dicer_rdt.dir/mba.cpp.o" "gcc" "src/rdt/CMakeFiles/dicer_rdt.dir/mba.cpp.o.d"
+  "/root/repo/src/rdt/monitor.cpp" "src/rdt/CMakeFiles/dicer_rdt.dir/monitor.cpp.o" "gcc" "src/rdt/CMakeFiles/dicer_rdt.dir/monitor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dicer_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dicer_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dicer_rdt.dir/cat.cpp.o"
+  "CMakeFiles/dicer_rdt.dir/cat.cpp.o.d"
+  "CMakeFiles/dicer_rdt.dir/mba.cpp.o"
+  "CMakeFiles/dicer_rdt.dir/mba.cpp.o.d"
+  "CMakeFiles/dicer_rdt.dir/monitor.cpp.o"
+  "CMakeFiles/dicer_rdt.dir/monitor.cpp.o.d"
+  "libdicer_rdt.a"
+  "libdicer_rdt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dicer_rdt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache/address_stream.cpp" "src/sim/CMakeFiles/dicer_sim.dir/cache/address_stream.cpp.o" "gcc" "src/sim/CMakeFiles/dicer_sim.dir/cache/address_stream.cpp.o.d"
+  "/root/repo/src/sim/cache/mrc.cpp" "src/sim/CMakeFiles/dicer_sim.dir/cache/mrc.cpp.o" "gcc" "src/sim/CMakeFiles/dicer_sim.dir/cache/mrc.cpp.o.d"
+  "/root/repo/src/sim/cache/mrc_profiler.cpp" "src/sim/CMakeFiles/dicer_sim.dir/cache/mrc_profiler.cpp.o" "gcc" "src/sim/CMakeFiles/dicer_sim.dir/cache/mrc_profiler.cpp.o.d"
+  "/root/repo/src/sim/cache/occupancy_model.cpp" "src/sim/CMakeFiles/dicer_sim.dir/cache/occupancy_model.cpp.o" "gcc" "src/sim/CMakeFiles/dicer_sim.dir/cache/occupancy_model.cpp.o.d"
+  "/root/repo/src/sim/cache/set_assoc_cache.cpp" "src/sim/CMakeFiles/dicer_sim.dir/cache/set_assoc_cache.cpp.o" "gcc" "src/sim/CMakeFiles/dicer_sim.dir/cache/set_assoc_cache.cpp.o.d"
+  "/root/repo/src/sim/cache/way_mask.cpp" "src/sim/CMakeFiles/dicer_sim.dir/cache/way_mask.cpp.o" "gcc" "src/sim/CMakeFiles/dicer_sim.dir/cache/way_mask.cpp.o.d"
+  "/root/repo/src/sim/core/app_profile.cpp" "src/sim/CMakeFiles/dicer_sim.dir/core/app_profile.cpp.o" "gcc" "src/sim/CMakeFiles/dicer_sim.dir/core/app_profile.cpp.o.d"
+  "/root/repo/src/sim/core/catalog.cpp" "src/sim/CMakeFiles/dicer_sim.dir/core/catalog.cpp.o" "gcc" "src/sim/CMakeFiles/dicer_sim.dir/core/catalog.cpp.o.d"
+  "/root/repo/src/sim/machine.cpp" "src/sim/CMakeFiles/dicer_sim.dir/machine.cpp.o" "gcc" "src/sim/CMakeFiles/dicer_sim.dir/machine.cpp.o.d"
+  "/root/repo/src/sim/mem/memory_link.cpp" "src/sim/CMakeFiles/dicer_sim.dir/mem/memory_link.cpp.o" "gcc" "src/sim/CMakeFiles/dicer_sim.dir/mem/memory_link.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dicer_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dicer_sim.dir/cache/address_stream.cpp.o"
+  "CMakeFiles/dicer_sim.dir/cache/address_stream.cpp.o.d"
+  "CMakeFiles/dicer_sim.dir/cache/mrc.cpp.o"
+  "CMakeFiles/dicer_sim.dir/cache/mrc.cpp.o.d"
+  "CMakeFiles/dicer_sim.dir/cache/mrc_profiler.cpp.o"
+  "CMakeFiles/dicer_sim.dir/cache/mrc_profiler.cpp.o.d"
+  "CMakeFiles/dicer_sim.dir/cache/occupancy_model.cpp.o"
+  "CMakeFiles/dicer_sim.dir/cache/occupancy_model.cpp.o.d"
+  "CMakeFiles/dicer_sim.dir/cache/set_assoc_cache.cpp.o"
+  "CMakeFiles/dicer_sim.dir/cache/set_assoc_cache.cpp.o.d"
+  "CMakeFiles/dicer_sim.dir/cache/way_mask.cpp.o"
+  "CMakeFiles/dicer_sim.dir/cache/way_mask.cpp.o.d"
+  "CMakeFiles/dicer_sim.dir/core/app_profile.cpp.o"
+  "CMakeFiles/dicer_sim.dir/core/app_profile.cpp.o.d"
+  "CMakeFiles/dicer_sim.dir/core/catalog.cpp.o"
+  "CMakeFiles/dicer_sim.dir/core/catalog.cpp.o.d"
+  "CMakeFiles/dicer_sim.dir/machine.cpp.o"
+  "CMakeFiles/dicer_sim.dir/machine.cpp.o.d"
+  "CMakeFiles/dicer_sim.dir/mem/memory_link.cpp.o"
+  "CMakeFiles/dicer_sim.dir/mem/memory_link.cpp.o.d"
+  "libdicer_sim.a"
+  "libdicer_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dicer_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dicer_util.dir/cli.cpp.o"
+  "CMakeFiles/dicer_util.dir/cli.cpp.o.d"
+  "CMakeFiles/dicer_util.dir/csv.cpp.o"
+  "CMakeFiles/dicer_util.dir/csv.cpp.o.d"
+  "CMakeFiles/dicer_util.dir/log.cpp.o"
+  "CMakeFiles/dicer_util.dir/log.cpp.o.d"
+  "CMakeFiles/dicer_util.dir/rng.cpp.o"
+  "CMakeFiles/dicer_util.dir/rng.cpp.o.d"
+  "CMakeFiles/dicer_util.dir/stats.cpp.o"
+  "CMakeFiles/dicer_util.dir/stats.cpp.o.d"
+  "CMakeFiles/dicer_util.dir/table.cpp.o"
+  "CMakeFiles/dicer_util.dir/table.cpp.o.d"
+  "libdicer_util.a"
+  "libdicer_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dicer_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdt_test.dir/rdt/cat_test.cpp.o"
+  "CMakeFiles/rdt_test.dir/rdt/cat_test.cpp.o.d"
+  "CMakeFiles/rdt_test.dir/rdt/mba_test.cpp.o"
+  "CMakeFiles/rdt_test.dir/rdt/mba_test.cpp.o.d"
+  "CMakeFiles/rdt_test.dir/rdt/monitor_test.cpp.o"
+  "CMakeFiles/rdt_test.dir/rdt/monitor_test.cpp.o.d"
+  "rdt_test"
+  "rdt_test.pdb"
+  "rdt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_test.dir/sim/address_stream_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/address_stream_test.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/app_profile_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/app_profile_test.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/catalog_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/catalog_test.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/machine_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/machine_test.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/memory_link_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/memory_link_test.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/mrc_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/mrc_test.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/occupancy_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/occupancy_test.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/set_assoc_cache_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/set_assoc_cache_test.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/way_mask_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/way_mask_test.cpp.o.d"
+  "sim_test"
+  "sim_test.pdb"
+  "sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
