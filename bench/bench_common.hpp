@@ -6,6 +6,9 @@
 //   --recompute        ignore on-disk caches and re-run the underlying study
 //   --cache-dir DIR    where caches/CSVs live (default $DICER_CACHE_DIR or .)
 //   --cores N          machine cores (default 10, the paper's Xeon)
+//   --jobs N           parallel sweep workers (default $DICER_SWEEP_JOBS,
+//                      else all hardware threads; results are identical
+//                      for any worker count)
 #pragma once
 
 #include <filesystem>
@@ -26,11 +29,14 @@ struct BenchEnv {
   util::CliArgs args;
   std::string cache_dir;
   bool recompute = false;
+  unsigned jobs = 0;  ///< sweep workers; 0 = auto (env, then hardware)
 
   explicit BenchEnv(int argc, char** argv) : args(argc, argv) {
     cache_dir = args.get_or("cache-dir", harness::default_cache_dir());
     std::filesystem::create_directories(cache_dir);
     recompute = args.get_bool("recompute", false);
+    const long j = args.get_int("jobs", 0);
+    jobs = j > 0 ? static_cast<unsigned>(j) : 0;
   }
 
   std::string path(const std::string& filename) const {
@@ -51,13 +57,15 @@ struct BenchEnv {
     return harness::representative_sample(st, 50, 70);
   }
 
-  /// The UM/CT/DICER x cores sweep over the sample (cached).
+  /// The UM/CT/DICER x cores sweep over the sample (cached). Runs on
+  /// `--jobs` workers; rows are identical for any worker count.
   std::vector<harness::SweepRow> sweep(
       const std::vector<harness::BaselineEntry>& sample_entries,
       const harness::SweepConfig& config) const {
-    return harness::policy_sweep(sim::default_catalog(), sample_entries,
-                                 config, path("cache_policy_sweep.csv"),
-                                 recompute);
+    harness::SweepConfig cfg = config;
+    if (cfg.jobs == 0) cfg.jobs = jobs;
+    return harness::policy_sweep(sim::default_catalog(), sample_entries, cfg,
+                                 path("cache_policy_sweep.csv"), recompute);
   }
 };
 

@@ -4,6 +4,9 @@
 //
 // Paper shape targets: DICER tracks CT on CT-F workloads and UM on CT-T
 // workloads for the HP, and improves BE performance over CT everywhere.
+//
+// The underlying sweep parallelises across --jobs workers (see
+// bench_common.hpp); the rows are identical for any worker count.
 #include "bench_common.hpp"
 #include "util/stats.hpp"
 

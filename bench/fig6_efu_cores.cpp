@@ -4,6 +4,9 @@
 //
 // Paper shape targets: UM highest; DICER close behind (~0.6 at 10 cores);
 // CT collapsing as BEs multiply inside their single way.
+//
+// The underlying sweep parallelises across --jobs workers (see
+// bench_common.hpp); the rows are identical for any worker count.
 #include "bench_common.hpp"
 #include "util/stats.hpp"
 

@@ -5,6 +5,9 @@
 // matches or beats CT for SLOs up to 90 %, especially beyond half the
 // cores; at 95 % DICER and CT are about equal. Headline: DICER meets an
 // 80 % SLO for >90 % of workloads and a 90 % SLO for 74 % at 10 cores.
+//
+// The underlying sweep parallelises across --jobs workers (see
+// bench_common.hpp); the rows are identical for any worker count.
 #include "bench_common.hpp"
 #include "metrics/metrics.hpp"
 #include "util/stats.hpp"

@@ -9,6 +9,9 @@
 // printed alongside the arithmetic mean for transparency.
 //
 // Paper shape target: DICER clearly best for every SLO and lambda.
+//
+// The underlying sweep parallelises across --jobs workers (see
+// bench_common.hpp); the rows are identical for any worker count.
 #include "bench_common.hpp"
 #include "metrics/metrics.hpp"
 #include "util/stats.hpp"

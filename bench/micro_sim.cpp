@@ -3,7 +3,10 @@
 // figure benches depend on.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
 #include "harness/solo.hpp"
+#include "harness/sweep.hpp"
 #include "policy/dicer.hpp"
 #include "rdt/capability.hpp"
 #include "sim/cache/address_stream.hpp"
@@ -12,6 +15,7 @@
 #include "sim/core/catalog.hpp"
 #include "sim/machine.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -131,6 +135,49 @@ void BM_DicerAct(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
 }
 BENCHMARK(BM_DicerAct);
+
+// Policy-sweep throughput: a reduced slice of the Fig 5-8 grid
+// (workloads x cores x {UM, CT, DICER}) evaluated on 1, half and all
+// hardware workers. This is the shared computation behind Figs 5-8
+// (120 x 9 x 3 = 3240 cells), so cells/second here bounds every figure
+// bench; the parallel executor must show near-linear scaling because
+// cells are chunky and fully independent.
+void BM_PolicySweep(benchmark::State& state) {
+  const auto& catalog = sim::default_catalog();
+  std::vector<harness::BaselineEntry> sample;
+  for (std::size_t i = 0; i + 1 < catalog.size() && sample.size() < 6;
+       i += 9) {
+    harness::BaselineEntry e;
+    e.spec = {catalog.at(i).name, catalog.at(i + 1).name};
+    e.hp_alone_ipc = 3.0;
+    e.be_alone_ipc = 3.0;
+    e.um_hp_ipc = 2.7;
+    e.ct_hp_ipc = 2.85;
+    sample.push_back(e);
+  }
+  harness::SweepConfig sc;
+  sc.cores = {3, 6, 10};
+  sc.jobs = static_cast<unsigned>(state.range(0));
+  const auto cells =
+      sample.size() * sc.cores.size() * sc.policies.size();
+  for (auto _ : state) {
+    auto rows = harness::policy_sweep(catalog, sample, sc, /*cache_path=*/"");
+    benchmark::DoNotOptimize(rows.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(cells));
+  state.counters["cells"] = static_cast<double>(cells);
+  state.counters["jobs"] = static_cast<double>(sc.jobs);
+}
+BENCHMARK(BM_PolicySweep)
+    ->Apply([](benchmark::internal::Benchmark* b) {
+      const unsigned hw = dicer::util::ThreadPool::hardware_workers();
+      b->Arg(1);
+      if (hw >= 4) b->Arg(std::max(2u, hw / 2));
+      if (hw >= 2) b->Arg(hw);
+    })
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

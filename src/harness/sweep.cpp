@@ -1,8 +1,9 @@
 #include "harness/sweep.hpp"
 
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
-#include <map>
 #include <sstream>
 #include <stdexcept>
 
@@ -10,16 +11,22 @@
 #include "policy/factory.hpp"
 #include "util/csv.hpp"
 #include "util/log.hpp"
+#include "util/thread_pool.hpp"
 
 namespace dicer::harness {
 
 namespace {
 
+constexpr const char* kSweepHeader =
+    "hp,be,policy,cores,ctf,hp_alone,be_alone,hp_ipc,be_ipc,efu";
+
 std::string sweep_key(const sim::AppCatalog& catalog,
                       const std::vector<BaselineEntry>& sample,
                       const SweepConfig& config) {
   // Order-sensitive FNV over the sample labels, policies and core counts,
-  // plus the machine geometry fields that shape results.
+  // plus every config field that shapes results: machine geometry (cores,
+  // frequency, LLC ways, link) and the consolidation window/MBA settings.
+  // Worker count is deliberately excluded — it never changes rows.
   std::uint64_t h = 0xcbf29ce484222325ULL;
   auto mix = [&h](const std::string& s) {
     for (char c : s) {
@@ -32,16 +39,42 @@ std::string sweep_key(const sim::AppCatalog& catalog,
   for (const auto& e : sample) mix(e.spec.label());
   for (const auto& p : config.policies) mix(p);
   for (unsigned c : config.cores) mix(std::to_string(c));
-  char buf[256];
-  std::snprintf(buf, sizeof buf, "dicer-sweep-v4:%016llx:%016llx:%u:%g:%g:%g",
+  const auto& m = config.base.machine;
+  char buf[320];
+  std::snprintf(buf, sizeof buf,
+                "dicer-sweep-v5:%016llx:%016llx:%u:%u:%g:%g:%g:%g:%g:%d",
                 static_cast<unsigned long long>(catalog_fingerprint(catalog)),
-                static_cast<unsigned long long>(h),
-                config.base.machine.llc.ways,
-                config.base.machine.link.capacity_bytes_per_sec,
-                config.base.machine.quantum_sec, config.base.max_window_sec);
+                static_cast<unsigned long long>(h), m.llc.ways, m.num_cores,
+                m.freq_hz, m.link.capacity_bytes_per_sec, m.quantum_sec,
+                config.base.min_window_sec, config.base.max_window_sec,
+                config.base.enable_mba ? 1 : 0);
   return buf;
 }
 
+// Strict cell parsers: reject empty cells, trailing garbage ("12abc") and
+// out-of-range values so a corrupt cache is detected instead of silently
+// feeding nonsense into figures.
+unsigned parse_cell_unsigned(const std::string& cell) {
+  std::size_t pos = 0;
+  const unsigned long v = std::stoul(cell, &pos);
+  if (pos != cell.size() || v > 0xffffffffUL) {
+    throw std::invalid_argument("bad unsigned '" + cell + "'");
+  }
+  return static_cast<unsigned>(v);
+}
+
+double parse_cell_double(const std::string& cell) {
+  std::size_t pos = 0;
+  const double v = std::stod(cell, &pos);
+  if (pos != cell.size()) {
+    throw std::invalid_argument("bad number '" + cell + "'");
+  }
+  return v;
+}
+
+/// Load cached rows for `key`. Any defect — missing/foreign key line,
+/// wrong column header, truncated row, garbage cell, trailing columns —
+/// logs and returns empty so the caller recomputes. Never throws.
 std::vector<SweepRow> load_sweep(const std::string& path,
                                  const std::string& key) {
   std::ifstream in(path);
@@ -51,51 +84,126 @@ std::vector<SweepRow> load_sweep(const std::string& path,
     DICER_INFO << "sweep cache " << path << " is stale; recomputing";
     return {};
   }
-  std::getline(in, line);  // header
+  if (!std::getline(in, line) || line != kSweepHeader) {
+    DICER_WARN << "sweep cache " << path
+               << " has an unexpected column header; recomputing";
+    return {};
+  }
   std::vector<SweepRow> rows;
-  while (std::getline(in, line)) {
-    std::istringstream ss(line);
-    SweepRow r;
-    std::string cell;
-    auto next = [&]() {
-      if (!std::getline(ss, cell, ',')) {
-        throw std::runtime_error("sweep cache: truncated row in " + path);
+  try {
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      std::istringstream ss(line);
+      SweepRow r;
+      std::string cell;
+      auto next = [&]() {
+        if (!std::getline(ss, cell, ',')) {
+          throw std::invalid_argument("truncated row");
+        }
+        return cell;
+      };
+      r.hp = next();
+      r.be = next();
+      r.policy = next();
+      r.cores = parse_cell_unsigned(next());
+      r.ct_favoured = next() == "1";
+      r.hp_alone = parse_cell_double(next());
+      r.be_alone = parse_cell_double(next());
+      r.hp_ipc = parse_cell_double(next());
+      r.be_ipc = parse_cell_double(next());
+      r.efu = parse_cell_double(next());
+      if (std::getline(ss, cell, ',')) {
+        throw std::invalid_argument("trailing columns");
       }
-      return cell;
-    };
-    r.hp = next();
-    r.be = next();
-    r.policy = next();
-    r.cores = static_cast<unsigned>(std::stoul(next()));
-    r.ct_favoured = next() == "1";
-    r.hp_alone = std::stod(next());
-    r.be_alone = std::stod(next());
-    r.hp_ipc = std::stod(next());
-    r.be_ipc = std::stod(next());
-    r.efu = std::stod(next());
-    rows.push_back(std::move(r));
+      rows.push_back(std::move(r));
+    }
+  } catch (const std::exception& e) {
+    DICER_WARN << "sweep cache " << path << " is corrupt (" << e.what()
+               << " at row " << rows.size() << "); recomputing";
+    return {};
   }
   return rows;
 }
 
+/// Atomically (re)write the cache: stream into a temp file in the same
+/// directory, then rename over `path`, so an interrupted bench never
+/// leaves a truncated cache at the real location.
 void save_sweep(const std::string& path, const std::string& key,
                 const std::vector<SweepRow>& rows) {
-  std::ofstream out(path);
+  const std::string tmp = path + ".tmp";
+  std::ofstream out(tmp, std::ios::trunc);
   if (!out) {
-    DICER_WARN << "cannot write sweep cache " << path;
+    DICER_WARN << "cannot write sweep cache " << tmp;
     return;
   }
   out << "# " << key << "\n";
-  out << "hp,be,policy,cores,ctf,hp_alone,be_alone,hp_ipc,be_ipc,efu\n";
+  out << kSweepHeader << "\n";
   for (const auto& r : rows) {
     out << r.hp << ',' << r.be << ',' << r.policy << ',' << r.cores << ','
         << (r.ct_favoured ? 1 : 0) << ',' << util::fmt(r.hp_alone) << ','
         << util::fmt(r.be_alone) << ',' << util::fmt(r.hp_ipc) << ','
         << util::fmt(r.be_ipc) << ',' << util::fmt(r.efu) << "\n";
   }
+  out.flush();
+  if (!out) {
+    DICER_WARN << "failed writing sweep cache " << tmp;
+    out.close();
+    std::remove(tmp.c_str());
+    return;
+  }
+  out.close();
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    DICER_WARN << "cannot rename sweep cache " << tmp << " -> " << path;
+    std::remove(tmp.c_str());
+  }
+}
+
+/// One (workload, cores, policy) cell of the sweep grid, in the fixed
+/// enumeration order sample x cores x policies.
+struct SweepCell {
+  const BaselineEntry* entry = nullptr;
+  unsigned cores = 0;
+  const std::string* policy = nullptr;
+};
+
+SweepRow run_cell(const sim::AppCatalog& catalog, const SweepCell& cell,
+                  const ConsolidationConfig& base) {
+  const auto& hp = catalog.by_name(cell.entry->spec.hp);
+  const auto& be = catalog.by_name(cell.entry->spec.be);
+  ConsolidationConfig cc = base;
+  cc.cores_used = cell.cores;
+  const auto pol = policy::make_policy(*cell.policy);
+  const auto res = run_consolidation(hp, be, *pol, cc);
+
+  SweepRow r;
+  r.hp = cell.entry->spec.hp;
+  r.be = cell.entry->spec.be;
+  r.policy = *cell.policy;
+  r.cores = cell.cores;
+  r.ct_favoured = cell.entry->ct_favoured();
+  r.hp_alone = cell.entry->hp_alone_ipc;
+  r.be_alone = cell.entry->be_alone_ipc;
+  r.hp_ipc = res.hp_ipc;
+  r.be_ipc = res.be_ipc_mean;
+  r.efu =
+      metrics::effective_utilisation(res.ipc_pairs(r.hp_alone, r.be_alone));
+  return r;
 }
 
 }  // namespace
+
+unsigned resolve_sweep_jobs(unsigned requested) {
+  if (requested != 0) return requested;
+  if (const char* env = std::getenv("DICER_SWEEP_JOBS")) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (end && *end == '\0' && v >= 1 && v <= 4096) {
+      return static_cast<unsigned>(v);
+    }
+    DICER_WARN << "ignoring invalid DICER_SWEEP_JOBS='" << env << "'";
+  }
+  return util::ThreadPool::hardware_workers();
+}
 
 std::vector<SweepRow> policy_sweep(const sim::AppCatalog& catalog,
                                    const std::vector<BaselineEntry>& sample,
@@ -103,49 +211,48 @@ std::vector<SweepRow> policy_sweep(const sim::AppCatalog& catalog,
                                    const std::string& cache_path,
                                    bool force_recompute) {
   const std::string key = sweep_key(catalog, sample, config);
+  const std::size_t total =
+      sample.size() * config.policies.size() * config.cores.size();
   if (!cache_path.empty() && !force_recompute) {
     auto rows = load_sweep(cache_path, key);
-    const std::size_t expected =
-        sample.size() * config.policies.size() * config.cores.size();
-    if (rows.size() == expected) return rows;
+    if (rows.size() == total) return rows;
     if (!rows.empty()) {
-      DICER_WARN << "sweep cache row count mismatch; recomputing";
+      DICER_WARN << "sweep cache row count mismatch (" << rows.size()
+                 << " != " << total << "); recomputing";
     }
   }
 
-  std::vector<SweepRow> rows;
-  rows.reserve(sample.size() * config.policies.size() * config.cores.size());
-  std::size_t done = 0;
-  const std::size_t total =
-      sample.size() * config.policies.size() * config.cores.size();
+  // Enumerate every cell up front in the canonical order, then evaluate
+  // them in parallel: cells are fully independent (each task builds its
+  // own Policy, ConsolidationConfig and simulated machine) and each
+  // writes into its own preallocated slot, so the result is byte-
+  // identical to the serial sweep whatever the worker count.
+  std::vector<SweepCell> cells;
+  cells.reserve(total);
   for (const auto& entry : sample) {
-    const auto& hp = catalog.by_name(entry.spec.hp);
-    const auto& be = catalog.by_name(entry.spec.be);
     for (unsigned cores : config.cores) {
-      ConsolidationConfig cc = config.base;
-      cc.cores_used = cores;
       for (const auto& pname : config.policies) {
-        const auto pol = policy::make_policy(pname);
-        const auto res = run_consolidation(hp, be, *pol, cc);
-
-        SweepRow r;
-        r.hp = entry.spec.hp;
-        r.be = entry.spec.be;
-        r.policy = pname;
-        r.cores = cores;
-        r.ct_favoured = entry.ct_favoured();
-        r.hp_alone = entry.hp_alone_ipc;
-        r.be_alone = entry.be_alone_ipc;
-        r.hp_ipc = res.hp_ipc;
-        r.be_ipc = res.be_ipc_mean;
-        r.efu = metrics::effective_utilisation(
-            res.ipc_pairs(r.hp_alone, r.be_alone));
-        rows.push_back(std::move(r));
-        if (++done % 200 == 0) {
-          DICER_INFO << "policy sweep: " << done << "/" << total;
-        }
+        cells.push_back({&entry, cores, &pname});
       }
     }
+  }
+
+  std::vector<SweepRow> rows(cells.size());
+  std::atomic<std::size_t> done{0};
+  const unsigned jobs = resolve_sweep_jobs(config.jobs);
+  auto eval_cell = [&](std::size_t i) {
+    rows[i] = run_cell(catalog, cells[i], config.base);
+    const std::size_t d = done.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (d % 200 == 0 || d == cells.size()) {
+      DICER_INFO << "policy sweep: " << d << "/" << cells.size() << " ("
+                 << jobs << " jobs)";
+    }
+  };
+  if (jobs <= 1 || cells.size() <= 1) {
+    for (std::size_t i = 0; i < cells.size(); ++i) eval_cell(i);
+  } else {
+    util::ThreadPool pool(jobs);
+    util::parallel_for(pool, cells.size(), eval_cell);
   }
 
   if (!cache_path.empty()) save_sweep(cache_path, key, rows);

@@ -35,7 +35,16 @@ struct SweepConfig {
   ConsolidationConfig base{};             ///< cores_used is overridden
   std::vector<std::string> policies{"UM", "CT", "DICER"};
   std::vector<unsigned> cores{2, 3, 4, 5, 6, 7, 8, 9, 10};
+  /// Parallel workers for the sweep. 0 = auto: $DICER_SWEEP_JOBS if set,
+  /// else all hardware threads. The worker count never changes results —
+  /// every (workload, cores, policy) cell is independent and rows come
+  /// back in the same deterministic order as the serial sweep.
+  unsigned jobs = 0;
 };
+
+/// Resolve a requested worker count: 0 consults $DICER_SWEEP_JOBS, then
+/// falls back to hardware concurrency; the result is always >= 1.
+unsigned resolve_sweep_jobs(unsigned requested);
 
 /// Run (or load from cache) the sweep over `sample`.
 std::vector<SweepRow> policy_sweep(const sim::AppCatalog& catalog,

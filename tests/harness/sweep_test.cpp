@@ -3,9 +3,57 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
 
 namespace dicer::harness {
 namespace {
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+void write_lines(const std::string& path,
+                 const std::vector<std::string>& lines) {
+  std::ofstream out(path, std::ios::trunc);
+  for (const auto& l : lines) out << l << "\n";
+}
+
+/// Rewrite every data row's hp cell to "tampered", keeping the key and
+/// header intact. A subsequent policy_sweep that *hits* the cache returns
+/// "tampered" rows; one that correctly treats the cache as stale
+/// recomputes and returns real workload names.
+void tamper_hp_names(const std::string& path) {
+  auto lines = read_lines(path);
+  for (std::size_t i = 2; i < lines.size(); ++i) {
+    lines[i] = "tampered" + lines[i].substr(lines[i].find(','));
+  }
+  write_lines(path, lines);
+}
+
+void expect_rows_identical(const std::vector<SweepRow>& a,
+                           const std::vector<SweepRow>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].hp, b[i].hp) << "row " << i;
+    EXPECT_EQ(a[i].be, b[i].be) << "row " << i;
+    EXPECT_EQ(a[i].policy, b[i].policy) << "row " << i;
+    EXPECT_EQ(a[i].cores, b[i].cores) << "row " << i;
+    EXPECT_EQ(a[i].ct_favoured, b[i].ct_favoured) << "row " << i;
+    // Bitwise equality, not NEAR: cached and parallel sweeps must be
+    // byte-identical to the serial sweep.
+    EXPECT_EQ(a[i].hp_alone, b[i].hp_alone) << "row " << i;
+    EXPECT_EQ(a[i].be_alone, b[i].be_alone) << "row " << i;
+    EXPECT_EQ(a[i].hp_ipc, b[i].hp_ipc) << "row " << i;
+    EXPECT_EQ(a[i].be_ipc, b[i].be_ipc) << "row " << i;
+    EXPECT_EQ(a[i].efu, b[i].efu) << "row " << i;
+  }
+}
 
 BaselineEntry sample_entry(const char* hp, const char* be) {
   BaselineEntry e;
@@ -80,6 +128,215 @@ TEST(PolicySweep, CacheKeyedBySample) {
   ASSERT_FALSE(rows.empty());
   EXPECT_EQ(rows[0].hp, "namd1");
   std::remove(path.c_str());
+}
+
+TEST(PolicySweep, CorruptNumericCellFallsBackToRecompute) {
+  const std::string path = ::testing::TempDir() + "/sweep_corrupt_cell.csv";
+  std::remove(path.c_str());
+  const std::vector<BaselineEntry> sample = {
+      sample_entry("milc1", "gcc_base3")};
+  const auto cfg = small_config();
+  const auto rows = policy_sweep(sim::default_catalog(), sample, cfg, path);
+
+  auto lines = read_lines(path);
+  ASSERT_GT(lines.size(), 2u);
+  // Garbage in the cores column ("12abc" has trailing junk stoul would
+  // silently accept) and pure garbage in a float column.
+  lines[2].replace(lines[2].find(",2,"), 3, ",12abc,");
+  lines.back().replace(lines.back().rfind(','), std::string::npos,
+                       ",notanumber");
+  write_lines(path, lines);
+
+  const auto again = policy_sweep(sim::default_catalog(), sample, cfg, path);
+  expect_rows_identical(again, rows);
+  // The recompute must have repaired the cache in place.
+  tamper_hp_names(path);
+  const auto hit = policy_sweep(sim::default_catalog(), sample, cfg, path);
+  ASSERT_FALSE(hit.empty());
+  EXPECT_EQ(hit[0].hp, "tampered");
+  std::remove(path.c_str());
+}
+
+TEST(PolicySweep, TruncatedRowFallsBackToRecompute) {
+  const std::string path = ::testing::TempDir() + "/sweep_truncated.csv";
+  std::remove(path.c_str());
+  const std::vector<BaselineEntry> sample = {
+      sample_entry("milc1", "gcc_base3")};
+  const auto cfg = small_config();
+  const auto rows = policy_sweep(sim::default_catalog(), sample, cfg, path);
+
+  auto lines = read_lines(path);
+  ASSERT_GT(lines.size(), 2u);
+  // Chop the last row mid-way, as an interrupted writer would have.
+  lines.back() = lines.back().substr(0, lines.back().find(',') + 3);
+  write_lines(path, lines);
+
+  const auto again = policy_sweep(sim::default_catalog(), sample, cfg, path);
+  expect_rows_identical(again, rows);
+  std::remove(path.c_str());
+}
+
+TEST(PolicySweep, WrongColumnHeaderFallsBackToRecompute) {
+  const std::string path = ::testing::TempDir() + "/sweep_bad_header.csv";
+  std::remove(path.c_str());
+  const std::vector<BaselineEntry> sample = {
+      sample_entry("milc1", "gcc_base3")};
+  const auto cfg = small_config();
+  const auto rows = policy_sweep(sim::default_catalog(), sample, cfg, path);
+
+  auto lines = read_lines(path);
+  ASSERT_GT(lines.size(), 2u);
+  lines[1] = "hp,be,policy,bogus";
+  write_lines(path, lines);
+
+  const auto again = policy_sweep(sim::default_catalog(), sample, cfg, path);
+  expect_rows_identical(again, rows);
+  std::remove(path.c_str());
+}
+
+TEST(PolicySweep, ExtraColumnsFallBackToRecompute) {
+  const std::string path = ::testing::TempDir() + "/sweep_extra_cols.csv";
+  std::remove(path.c_str());
+  const std::vector<BaselineEntry> sample = {
+      sample_entry("milc1", "gcc_base3")};
+  const auto cfg = small_config();
+  const auto rows = policy_sweep(sim::default_catalog(), sample, cfg, path);
+
+  auto lines = read_lines(path);
+  lines[2] += ",0.5";
+  write_lines(path, lines);
+
+  const auto again = policy_sweep(sim::default_catalog(), sample, cfg, path);
+  expect_rows_identical(again, rows);
+  std::remove(path.c_str());
+}
+
+TEST(PolicySweep, KeyInvalidatedByMinWindow) {
+  const std::string path = ::testing::TempDir() + "/sweep_key_minwin.csv";
+  std::remove(path.c_str());
+  const std::vector<BaselineEntry> sample = {
+      sample_entry("milc1", "gcc_base3")};
+  auto cfg = small_config();
+  policy_sweep(sim::default_catalog(), sample, cfg, path);
+  tamper_hp_names(path);
+
+  // Control: unchanged config hits the (tampered) cache.
+  const auto hit = policy_sweep(sim::default_catalog(), sample, cfg, path);
+  ASSERT_FALSE(hit.empty());
+  EXPECT_EQ(hit[0].hp, "tampered");
+
+  auto changed = cfg;
+  changed.base.min_window_sec = cfg.base.min_window_sec / 2;
+  const auto miss =
+      policy_sweep(sim::default_catalog(), sample, changed, path);
+  ASSERT_FALSE(miss.empty());
+  EXPECT_EQ(miss[0].hp, "milc1") << "stale cache reused across "
+                                    "min_window_sec change";
+  std::remove(path.c_str());
+}
+
+TEST(PolicySweep, KeyInvalidatedByEnableMba) {
+  const std::string path = ::testing::TempDir() + "/sweep_key_mba.csv";
+  std::remove(path.c_str());
+  const std::vector<BaselineEntry> sample = {
+      sample_entry("milc1", "gcc_base3")};
+  auto cfg = small_config();
+  policy_sweep(sim::default_catalog(), sample, cfg, path);
+  tamper_hp_names(path);
+
+  auto changed = cfg;
+  changed.base.enable_mba = !cfg.base.enable_mba;
+  const auto miss =
+      policy_sweep(sim::default_catalog(), sample, changed, path);
+  ASSERT_FALSE(miss.empty());
+  EXPECT_EQ(miss[0].hp, "milc1")
+      << "stale cache reused across enable_mba change";
+  std::remove(path.c_str());
+}
+
+TEST(PolicySweep, KeyInvalidatedByMachineGeometry) {
+  const std::string path = ::testing::TempDir() + "/sweep_key_machine.csv";
+  std::remove(path.c_str());
+  const std::vector<BaselineEntry> sample = {
+      sample_entry("milc1", "gcc_base3")};
+  auto cfg = small_config();
+  policy_sweep(sim::default_catalog(), sample, cfg, path);
+  tamper_hp_names(path);
+
+  auto more_cores = cfg;
+  more_cores.base.machine.num_cores = cfg.base.machine.num_cores + 2;
+  const auto miss1 =
+      policy_sweep(sim::default_catalog(), sample, more_cores, path);
+  ASSERT_FALSE(miss1.empty());
+  EXPECT_EQ(miss1[0].hp, "milc1")
+      << "stale cache reused across num_cores change";
+
+  tamper_hp_names(path);
+  auto faster = more_cores;
+  faster.base.machine.freq_hz = cfg.base.machine.freq_hz * 1.5;
+  const auto miss2 =
+      policy_sweep(sim::default_catalog(), sample, faster, path);
+  ASSERT_FALSE(miss2.empty());
+  EXPECT_EQ(miss2[0].hp, "milc1")
+      << "stale cache reused across freq_hz change";
+  std::remove(path.c_str());
+}
+
+TEST(PolicySweep, ParallelMatchesSerialByteIdentical) {
+  const std::vector<BaselineEntry> sample = {
+      sample_entry("milc1", "gcc_base3"), sample_entry("namd1", "bzip22"),
+      sample_entry("milc1", "bzip22")};
+  auto serial_cfg = small_config();
+  serial_cfg.policies = {"UM", "CT", "DICER"};
+  serial_cfg.jobs = 1;
+  auto parallel_cfg = serial_cfg;
+  parallel_cfg.jobs = 4;
+
+  const auto serial =
+      policy_sweep(sim::default_catalog(), sample, serial_cfg, "");
+  const auto parallel =
+      policy_sweep(sim::default_catalog(), sample, parallel_cfg, "");
+  expect_rows_identical(parallel, serial);
+}
+
+TEST(PolicySweep, ParallelCacheFileByteIdenticalToSerial) {
+  const std::string serial_path =
+      ::testing::TempDir() + "/sweep_serial_cache.csv";
+  const std::string parallel_path =
+      ::testing::TempDir() + "/sweep_parallel_cache.csv";
+  std::remove(serial_path.c_str());
+  std::remove(parallel_path.c_str());
+  const std::vector<BaselineEntry> sample = {
+      sample_entry("milc1", "gcc_base3"), sample_entry("namd1", "bzip22")};
+  auto serial_cfg = small_config();
+  serial_cfg.jobs = 1;
+  auto parallel_cfg = small_config();
+  parallel_cfg.jobs = 4;
+  policy_sweep(sim::default_catalog(), sample, serial_cfg, serial_path);
+  policy_sweep(sim::default_catalog(), sample, parallel_cfg, parallel_path);
+  // No stray temp file left behind by the atomic rename.
+  EXPECT_FALSE(std::ifstream(parallel_path + ".tmp").good());
+  // The cache a parallel sweep writes is byte-identical to the serial
+  // one (same key — jobs is excluded — same order, same values).
+  EXPECT_EQ(read_lines(parallel_path), read_lines(serial_path));
+  // And re-loading it reproduces the rows to serialisation precision.
+  const auto cached = policy_sweep(sim::default_catalog(), sample,
+                                   parallel_cfg, parallel_path);
+  const auto fresh =
+      policy_sweep(sim::default_catalog(), sample, parallel_cfg, "");
+  ASSERT_EQ(cached.size(), fresh.size());
+  for (std::size_t i = 0; i < cached.size(); ++i) {
+    EXPECT_EQ(cached[i].policy, fresh[i].policy);
+    EXPECT_NEAR(cached[i].hp_ipc, fresh[i].hp_ipc, 1e-5);
+    EXPECT_NEAR(cached[i].efu, fresh[i].efu, 1e-5);
+  }
+  std::remove(serial_path.c_str());
+  std::remove(parallel_path.c_str());
+}
+
+TEST(ResolveSweepJobs, ExplicitRequestWins) {
+  EXPECT_EQ(resolve_sweep_jobs(3), 3u);
+  EXPECT_GE(resolve_sweep_jobs(0), 1u);
 }
 
 TEST(PolicySweep, CtFavouredFlagPropagated) {
