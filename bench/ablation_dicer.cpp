@@ -11,7 +11,8 @@
 //
 // Reported per variant over the 120-workload sample at 10 cores: HP SLO
 // conformance (80/90%), geomean EFU, geomean SUCI(SLO=90%, lambda=1), and
-// controller activity counters.
+// controller activity counters. --stats widens the table with the full
+// DicerStats breakdown (settle steps, phase vs perf resets, rollbacks).
 #include <memory>
 
 #include "bench_common.hpp"
@@ -55,17 +56,32 @@ int main(int argc, char** argv) {
   const std::vector<std::string> variants = {
       "DICER", "DICER-noBW", "DICER+MBA", "DICER-literal", "DICER-noPhase"};
 
+  // --stats appends the remaining DicerStats counters as extra columns;
+  // the default layout (and the committed CSV schema) stays unchanged.
+  const bool full_stats = env.args.get_bool("stats", false);
+
+  std::vector<std::string> head = {"variant", "SLO80 (%)", "SLO90 (%)",
+                                   "EFU gmean", "SUCI90 gmean", "samplings",
+                                   "donations", "resets"};
+  std::vector<std::string> csv_head = {"variant", "slo80", "slo90",
+                                       "efu",     "suci90", "samplings",
+                                       "donations", "resets"};
+  if (full_stats) {
+    for (const char* c : {"settle_steps", "phase_resets", "perf_resets",
+                          "rollbacks"}) {
+      head.push_back(c);
+      csv_head.push_back(c);
+    }
+  }
   util::TextTable t;
-  t.set_header({"variant", "SLO80 (%)", "SLO90 (%)", "EFU gmean",
-                "SUCI90 gmean", "samplings", "donations", "resets"});
+  t.set_header(head);
   util::CsvWriter csv(env.path("ablation_dicer.csv"));
-  csv.header({"variant", "slo80", "slo90", "efu", "suci90", "samplings",
-              "donations", "resets"});
+  csv.header(csv_head);
 
   const auto& catalog = sim::default_catalog();
   for (const auto& vname : variants) {
     std::vector<double> norms, efus, sucis;
-    std::uint64_t samplings = 0, donations = 0, resets = 0;
+    policy::DicerStats sum;
     for (const auto& e : sample) {
       auto pol = make_variant(vname);
       const auto res = harness::run_consolidation(
@@ -78,22 +94,35 @@ int main(int argc, char** argv) {
       efus.push_back(efu);
       sucis.push_back(
           std::max(metrics::suci(norm >= 0.90, efu, 1.0), 1e-3));
-      samplings += pol->stats().samplings;
-      donations += pol->stats().way_donations;
-      resets += pol->stats().phase_resets + pol->stats().perf_resets;
+      const auto& st = pol->stats();
+      sum.periods += st.periods;
+      sum.samplings += st.samplings;
+      sum.sampling_steps += st.sampling_steps;
+      sum.way_donations += st.way_donations;
+      sum.phase_resets += st.phase_resets;
+      sum.perf_resets += st.perf_resets;
+      sum.rollbacks += st.rollbacks;
     }
     const double slo80 = 100.0 * metrics::slo_conformance(norms, 0.80);
     const double slo90 = 100.0 * metrics::slo_conformance(norms, 0.90);
     const double efu_g = util::gmean(efus);
     const double suci_g = util::gmean(sucis);
-    t.add_row(vname,
-              {slo80, slo90, efu_g, suci_g, static_cast<double>(samplings),
-               static_cast<double>(donations), static_cast<double>(resets)},
-              -1);
-    csv.row_labeled(vname, {slo80, slo90, efu_g, suci_g,
-                            static_cast<double>(samplings),
-                            static_cast<double>(donations),
-                            static_cast<double>(resets)});
+    std::vector<double> cols = {
+        slo80,
+        slo90,
+        efu_g,
+        suci_g,
+        static_cast<double>(sum.samplings),
+        static_cast<double>(sum.way_donations),
+        static_cast<double>(sum.phase_resets + sum.perf_resets)};
+    if (full_stats) {
+      cols.push_back(static_cast<double>(sum.sampling_steps));
+      cols.push_back(static_cast<double>(sum.phase_resets));
+      cols.push_back(static_cast<double>(sum.perf_resets));
+      cols.push_back(static_cast<double>(sum.rollbacks));
+    }
+    t.add_row(vname, cols, -1);
+    csv.row_labeled(vname, cols);
   }
   t.print();
   std::cout << "\nCSV: " << env.path("ablation_dicer.csv") << "\n";

@@ -9,10 +9,19 @@
 //   --jobs N           parallel sweep workers (default $DICER_SWEEP_JOBS,
 //                      else all hardware threads; results are identical
 //                      for any worker count)
+//   --log-level L      debug|info|warn|error|off (same as DICER_LOG; the
+//                      flag wins over the env var)
+//   --trace PATH       record structured trace events to PATH for the
+//                      whole bench run — JSONL, or CSV when PATH ends in
+//                      .csv (same as DICER_TRACE; the flag wins)
+//   --profile          print the scoped-timer profile (sweep stages,
+//                      per-consolidation cost) to stderr on exit
 #pragma once
 
+#include <cstdlib>
 #include <filesystem>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -21,7 +30,10 @@
 #include "sim/core/catalog.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
+#include "util/log.hpp"
 #include "util/table.hpp"
+#include "util/timer.hpp"
+#include "util/trace.hpp"
 
 namespace dicer::bench {
 
@@ -30,6 +42,9 @@ struct BenchEnv {
   std::string cache_dir;
   bool recompute = false;
   unsigned jobs = 0;  ///< sweep workers; 0 = auto (env, then hardware)
+  bool profile = false;
+  std::shared_ptr<trace::Sink> trace_sink;  ///< set iff --trace/DICER_TRACE
+  std::string trace_path;
 
   explicit BenchEnv(int argc, char** argv) : args(argc, argv) {
     cache_dir = args.get_or("cache-dir", harness::default_cache_dir());
@@ -37,6 +52,32 @@ struct BenchEnv {
     recompute = args.get_bool("recompute", false);
     const long j = args.get_int("jobs", 0);
     jobs = j > 0 ? static_cast<unsigned>(j) : 0;
+    profile = args.get_bool("profile", false);
+    if (const auto level = args.get("log-level")) {
+      util::set_log_threshold(util::parse_log_level(*level));
+    }
+    trace_path = args.get_or("trace", "");
+    if (trace_path.empty()) {
+      if (const char* env = std::getenv("DICER_TRACE")) trace_path = env;
+    }
+    if (!trace_path.empty()) {
+      trace_sink = trace::make_file_sink(trace_path);
+      trace::Tracer::global().add_sink(trace_sink);
+    }
+  }
+
+  BenchEnv(const BenchEnv&) = delete;
+  BenchEnv& operator=(const BenchEnv&) = delete;
+
+  ~BenchEnv() {
+    if (trace_sink) {
+      trace::Tracer::global().remove_sink(trace_sink);  // flushes
+      std::cerr << "trace: " << trace_path << "\n";
+    }
+    if (profile) {
+      const std::string table = trace::TimerRegistry::global().format();
+      if (!table.empty()) std::cerr << "\n" << table;
+    }
   }
 
   std::string path(const std::string& filename) const {

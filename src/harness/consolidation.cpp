@@ -4,6 +4,8 @@
 #include <stdexcept>
 
 #include "rdt/capability.hpp"
+#include "util/timer.hpp"
+#include "util/trace.hpp"
 
 namespace dicer::harness {
 
@@ -25,10 +27,13 @@ ConsolidationResult run_consolidation(const sim::AppProfile& hp,
         "run_consolidation: cores_used must be in [2, machine cores]");
   }
 
-  sim::Machine machine(config.machine);
+  trace::ScopedTimer run_timer("harness.run_consolidation", config.tracer);
+  sim::MachineConfig machine_config = config.machine;
+  if (!machine_config.tracer) machine_config.tracer = config.tracer;
+  sim::Machine machine(machine_config);
   const auto cap = rdt::Capability::probe(machine, config.enable_mba);
   rdt::CatController cat(machine, cap);
-  rdt::Monitor monitor(machine, cap);
+  rdt::Monitor monitor(machine, cap, config.tracer);
   std::unique_ptr<rdt::MbaController> mba;
   if (config.enable_mba) {
     mba = std::make_unique<rdt::MbaController>(machine, cap);
@@ -40,10 +45,20 @@ ConsolidationResult run_consolidation(const sim::AppProfile& hp,
   ctx.monitor = &monitor;
   ctx.mba = mba.get();
   ctx.hp_core = 0;
+  ctx.tracer = config.tracer;
   for (unsigned c = 1; c < config.cores_used; ++c) ctx.be_cores.push_back(c);
 
   machine.attach(ctx.hp_core, &hp);
   for (unsigned c : ctx.be_cores) machine.attach(c, &be);
+
+  auto& tr = trace::resolve(config.tracer);
+  if (tr.enabled(trace::Kind::kRunBegin)) {
+    tr.emit(trace::Kind::kRunBegin, machine.time_sec(),
+            {{"policy", policy.name()},
+             {"hp", hp.name},
+             {"be", be.name},
+             {"cores", config.cores_used}});
+  }
 
   policy.setup(ctx);
 
@@ -96,6 +111,20 @@ ConsolidationResult run_consolidation(const sim::AppProfile& hp,
                           : be_sum / static_cast<double>(res.be_ipcs.size());
   res.avg_link_utilisation =
       res.window_sec > 0.0 ? rho_integral / res.window_sec : 0.0;
+  if (tr.enabled(trace::Kind::kRunEnd)) {
+    tr.emit(trace::Kind::kRunEnd, machine.time_sec(),
+            {{"policy", res.policy},
+             {"hp", hp.name},
+             {"be", be.name},
+             {"cores", config.cores_used},
+             {"window_sec", res.window_sec},
+             {"hp_ipc", res.hp_ipc},
+             {"be_ipc_mean", res.be_ipc_mean},
+             {"hp_completions", res.hp_completions},
+             {"be_completions", res.be_completions},
+             {"avg_rho", res.avg_link_utilisation},
+             {"capped", res.window_capped}});
+  }
   return res;
 }
 

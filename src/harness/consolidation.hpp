@@ -25,6 +25,11 @@ struct ConsolidationConfig {
   double min_window_sec = 20.0;
   double max_window_sec = 240.0;  ///< safety cap (starved BEs)
   bool enable_mba = false;        ///< expose an MBA controller to the policy
+  /// Event sink for the run (null = process-global tracer). Propagated to
+  /// the policy context, the monitor and — unless machine.tracer is
+  /// already set — the simulated machine, and bracketed by
+  /// run_begin/run_end events carrying the workload and the results.
+  trace::Tracer* tracer = nullptr;
 };
 
 struct ConsolidationResult {

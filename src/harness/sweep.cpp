@@ -12,6 +12,7 @@
 #include "util/csv.hpp"
 #include "util/log.hpp"
 #include "util/thread_pool.hpp"
+#include "util/timer.hpp"
 
 namespace dicer::harness {
 
@@ -214,6 +215,7 @@ std::vector<SweepRow> policy_sweep(const sim::AppCatalog& catalog,
   const std::size_t total =
       sample.size() * config.policies.size() * config.cores.size();
   if (!cache_path.empty() && !force_recompute) {
+    trace::ScopedTimer timer("sweep.load_cache");
     auto rows = load_sweep(cache_path, key);
     if (rows.size() == total) return rows;
     if (!rows.empty()) {
@@ -248,14 +250,20 @@ std::vector<SweepRow> policy_sweep(const sim::AppCatalog& catalog,
                  << jobs << " jobs)";
     }
   };
-  if (jobs <= 1 || cells.size() <= 1) {
-    for (std::size_t i = 0; i < cells.size(); ++i) eval_cell(i);
-  } else {
-    util::ThreadPool pool(jobs);
-    util::parallel_for(pool, cells.size(), eval_cell);
+  {
+    trace::ScopedTimer timer("sweep.compute");
+    if (jobs <= 1 || cells.size() <= 1) {
+      for (std::size_t i = 0; i < cells.size(); ++i) eval_cell(i);
+    } else {
+      util::ThreadPool pool(jobs);
+      util::parallel_for(pool, cells.size(), eval_cell);
+    }
   }
 
-  if (!cache_path.empty()) save_sweep(cache_path, key, rows);
+  if (!cache_path.empty()) {
+    trace::ScopedTimer timer("sweep.save_cache");
+    save_sweep(cache_path, key, rows);
+  }
   return rows;
 }
 

@@ -28,6 +28,10 @@
 #include "rdt/monitor.hpp"
 #include "sim/machine.hpp"
 
+namespace dicer::trace {
+class Tracer;
+}
+
 namespace dicer::policy {
 
 /// Everything a policy may touch. The harness wires this up per run.
@@ -38,6 +42,9 @@ struct PolicyContext {
   rdt::MbaController* mba = nullptr;  ///< null when the platform lacks MBA
   unsigned hp_core = 0;
   std::vector<unsigned> be_cores;
+  /// Event sink for controller decisions (null = the process-global
+  /// tracer, which is silent until a sink is attached).
+  trace::Tracer* tracer = nullptr;
 };
 
 /// CLOS assignment convention shared by all policies: CLOS 1 holds the HP

@@ -2,10 +2,13 @@
 
 #include <stdexcept>
 
+#include "util/trace.hpp"
+
 namespace dicer::rdt {
 
-Monitor::Monitor(const sim::Machine& machine, const Capability& capability)
-    : machine_(machine), cap_(capability),
+Monitor::Monitor(const sim::Machine& machine, const Capability& capability,
+                 trace::Tracer* tracer)
+    : machine_(machine), cap_(capability), tracer_(tracer),
       baselines_(machine.num_cores()) {
   if (!cap_.cmt_supported || !cap_.mbm_supported) {
     throw std::runtime_error("Monitor: CMT/MBM not supported by platform");
@@ -71,6 +74,20 @@ std::vector<std::pair<unsigned, MonSample>> Monitor::poll_all() {
     if (!baselines_[core]) continue;
     out.emplace_back(core, sample_from(core, *baselines_[core]));
     last_total_ += out.back().second.mbm_bytes_per_sec;
+  }
+  auto& tr = trace::resolve(tracer_);
+  if (tr.enabled(trace::Kind::kMonitorPoll) && !out.empty()) {
+    std::vector<trace::Field> fields;
+    fields.reserve(2 + 2 * out.size());
+    fields.emplace_back("cores", out.size());
+    fields.emplace_back("total_bw_bps", last_total_);
+    for (const auto& [core, mon] : out) {
+      fields.emplace_back("ipc_c" + std::to_string(core), mon.ipc);
+      fields.emplace_back("occ_c" + std::to_string(core),
+                          mon.llc_occupancy_bytes);
+    }
+    tr.emit(trace::Kind::kMonitorPoll, machine_.time_sec(),
+            std::move(fields));
   }
   return out;
 }

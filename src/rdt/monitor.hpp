@@ -16,6 +16,10 @@
 #include "rdt/capability.hpp"
 #include "sim/machine.hpp"
 
+namespace dicer::trace {
+class Tracer;
+}
+
 namespace dicer::rdt {
 
 /// One poll's worth of data for one monitored core.
@@ -31,7 +35,10 @@ struct MonSample {
 
 class Monitor {
  public:
-  Monitor(const sim::Machine& machine, const Capability& capability);
+  /// `tracer` (null = process-global) receives one Kind::kMonitorPoll
+  /// event per poll_all() — a verbose kind, off by default.
+  Monitor(const sim::Machine& machine, const Capability& capability,
+          trace::Tracer* tracer = nullptr);
 
   /// Start monitoring a core (allocates an RMID). Idempotent.
   void track(unsigned core);
@@ -61,6 +68,7 @@ class Monitor {
 
   const sim::Machine& machine_;
   Capability cap_;
+  trace::Tracer* tracer_;
   std::vector<std::optional<Baseline>> baselines_;  ///< per core, if tracked
   double last_total_ = 0.0;
 };

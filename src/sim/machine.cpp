@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "util/log.hpp"
+#include "util/trace.hpp"
 
 namespace dicer::sim {
 
@@ -230,6 +231,21 @@ void Machine::step() {
     tel.completions += completed;
     tel.last_quantum_ipc = ips[i] / freq;
     ips_seed_[core] = ips[i];
+  }
+
+  auto& tr = trace::resolve(config_.tracer);
+  if (tr.enabled(trace::Kind::kQuantum)) {
+    std::vector<trace::Field> fields;
+    fields.reserve(2 + 2 * n);
+    fields.emplace_back("rho", last_rho_);
+    fields.emplace_back("traffic_bps", last_traffic_);
+    for (std::size_t i = 0; i < n; ++i) {
+      const unsigned core = active[i];
+      fields.emplace_back("ipc_c" + std::to_string(core),
+                          telemetry_[core].last_quantum_ipc);
+      fields.emplace_back("occ_c" + std::to_string(core), occ[i]);
+    }
+    tr.emit(trace::Kind::kQuantum, time_sec_, std::move(fields));
   }
 }
 

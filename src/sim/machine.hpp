@@ -34,6 +34,10 @@
 #include "sim/core/app_profile.hpp"
 #include "sim/mem/memory_link.hpp"
 
+namespace dicer::trace {
+class Tracer;
+}
+
 namespace dicer::sim {
 
 struct MachineConfig {
@@ -65,6 +69,12 @@ struct MachineConfig {
   unsigned fixed_point_rounds = 8;
   double fixed_point_damping = 0.5;
   OccupancySolverConfig occupancy{};
+  /// Event sink for per-quantum counters (trace::Kind::kQuantum: rho,
+  /// achieved traffic, per-core IPC and LLC occupancy). Null resolves to
+  /// the process-global tracer; the kind is outside the default mask, so
+  /// quanta are only recorded when a consumer opts in (the timeline bench
+  /// does) — the steady-state cost is one relaxed atomic load per step.
+  trace::Tracer* tracer = nullptr;
 
   double way_bytes() const noexcept {
     return static_cast<double>(llc.way_bytes());

@@ -1,7 +1,6 @@
 #include "util/log.hpp"
 
 #include <atomic>
-#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <mutex>
@@ -10,20 +9,16 @@ namespace dicer::util {
 
 namespace {
 
-LogLevel parse_level(const char* s) {
-  if (!s) return LogLevel::kWarn;
-  if (std::strcmp(s, "debug") == 0) return LogLevel::kDebug;
-  if (std::strcmp(s, "info") == 0) return LogLevel::kInfo;
-  if (std::strcmp(s, "warn") == 0) return LogLevel::kWarn;
-  if (std::strcmp(s, "error") == 0) return LogLevel::kError;
-  if (std::strcmp(s, "off") == 0) return LogLevel::kOff;
-  return LogLevel::kWarn;
+std::atomic<int>& threshold_storage() noexcept {
+  static std::atomic<int> level{static_cast<int>(
+      parse_log_level(std::getenv("DICER_LOG") ? std::getenv("DICER_LOG")
+                                               : ""))};
+  return level;
 }
 
-std::atomic<int>& threshold_storage() noexcept {
-  static std::atomic<int> level{
-      static_cast<int>(parse_level(std::getenv("DICER_LOG")))};
-  return level;
+std::atomic<std::FILE*>& log_file_storage() noexcept {
+  static std::atomic<std::FILE*> file{nullptr};
+  return file;
 }
 
 const char* prefix(LogLevel level) noexcept {
@@ -39,6 +34,15 @@ const char* prefix(LogLevel level) noexcept {
 
 }  // namespace
 
+LogLevel parse_log_level(const std::string& text, LogLevel def) noexcept {
+  if (text == "debug") return LogLevel::kDebug;
+  if (text == "info") return LogLevel::kInfo;
+  if (text == "warn") return LogLevel::kWarn;
+  if (text == "error") return LogLevel::kError;
+  if (text == "off") return LogLevel::kOff;
+  return def;
+}
+
 LogLevel log_threshold() noexcept {
   return static_cast<LogLevel>(threshold_storage().load(std::memory_order_relaxed));
 }
@@ -47,15 +51,31 @@ void set_log_threshold(LogLevel level) noexcept {
   threshold_storage().store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
+void set_log_file(std::FILE* file) noexcept {
+  log_file_storage().store(file, std::memory_order_relaxed);
+}
+
 bool log_enabled(LogLevel level) noexcept {
   return static_cast<int>(level) >= static_cast<int>(log_threshold());
 }
 
 void log_line(LogLevel level, const std::string& msg) {
   if (!log_enabled(level)) return;
+  // Assemble the whole line first, then write it in one call under the
+  // mutex: stdio buffering gives no atomicity guarantee across the pieces
+  // of an fprintf, so a multi-part write could interleave with another
+  // thread's line on the same stream.
+  std::string line;
+  line.reserve(msg.size() + 9);
+  line += prefix(level);
+  line += ' ';
+  line += msg;
+  line += '\n';
   static std::mutex mu;
+  std::FILE* out = log_file_storage().load(std::memory_order_relaxed);
+  if (!out) out = stderr;
   std::lock_guard<std::mutex> lock(mu);
-  std::fprintf(stderr, "%s %s\n", prefix(level), msg.c_str());
+  std::fwrite(line.data(), 1, line.size(), out);
 }
 
 }  // namespace dicer::util

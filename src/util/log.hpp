@@ -3,6 +3,7 @@
 // by default but a single env var (DICER_LOG=debug) exposes the control flow.
 #pragma once
 
+#include <cstdio>
 #include <sstream>
 #include <string>
 
@@ -15,10 +16,22 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff =
 LogLevel log_threshold() noexcept;
 void set_log_threshold(LogLevel level) noexcept;
 
+/// Parse "debug" | "info" | "warn" | "error" | "off"; `def` on anything
+/// else. Backs both DICER_LOG and the benches' --log-level flag.
+LogLevel parse_log_level(const std::string& text,
+                         LogLevel def = LogLevel::kWarn) noexcept;
+
 bool log_enabled(LogLevel level) noexcept;
 
-/// Emit one line to stderr with a level prefix. No-op below the threshold.
+/// Emit one line with a level prefix. No-op below the threshold.
+/// Thread-safe: the prefixed line is assembled first and written to the
+/// log stream as one mutex-guarded write, so concurrent loggers (e.g. the
+/// parallel sweep's workers) can never interleave partial lines.
 void log_line(LogLevel level, const std::string& msg);
+
+/// Redirect log output (default stderr; nullptr restores stderr). The
+/// stream is shared global state — meant for tests capturing output.
+void set_log_file(std::FILE* file) noexcept;
 
 namespace detail {
 class LogStream {

@@ -1,0 +1,75 @@
+// Scoped wall-clock timers for profiling pipeline stages (cache load,
+// sweep compute, cache save, per-consolidation cost).
+//
+// A ScopedTimer measures its own lifetime and, on destruction,
+//  * accumulates into a TimerRegistry (count / total / min / max per
+//    label) — always, it is a couple of map operations per scope; and
+//  * optionally emits a Kind::kTimer trace event, if a tracer was given
+//    AND kTimer is in its mask. Timer events carry wall-clock durations,
+//    which is why kTimer sits outside trace::kDefaultKinds: deterministic
+//    traces stay deterministic unless a profile is explicitly requested.
+//
+// Benches print TimerRegistry::global().format() under --profile.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/trace.hpp"
+
+namespace dicer::trace {
+
+struct TimerStat {
+  std::uint64_t count = 0;
+  double total_ms = 0.0;
+  double min_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+class TimerRegistry {
+ public:
+  TimerRegistry() = default;
+  TimerRegistry(const TimerRegistry&) = delete;
+  TimerRegistry& operator=(const TimerRegistry&) = delete;
+
+  static TimerRegistry& global();
+
+  void record(const std::string& label, double ms);
+  /// All stats, sorted by label (a snapshot — safe to use while others
+  /// keep recording).
+  std::vector<std::pair<std::string, TimerStat>> snapshot() const;
+  void reset();
+  /// Human-readable profile table ("" when nothing was recorded).
+  std::string format() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, TimerStat> stats_;
+};
+
+class ScopedTimer {
+ public:
+  /// Times from construction to destruction under `label`. Records into
+  /// `registry` (default: the global one) and emits a kTimer event on
+  /// `tracer` when that kind is enabled there.
+  explicit ScopedTimer(std::string label, Tracer* tracer = nullptr,
+                       TimerRegistry* registry = nullptr);
+  ~ScopedTimer();
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  double elapsed_ms() const;
+
+ private:
+  std::string label_;
+  Tracer* tracer_;
+  TimerRegistry* registry_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace dicer::trace

@@ -1,0 +1,227 @@
+// dicer::trace — structured controller/machine telemetry.
+//
+// DICER's behaviour is a *timeline*: period measurements, way donations,
+// samplings, phase/perf resets, rollbacks. DICER_LOG=debug shows that
+// timeline as unstructured stderr text; this subsystem records it as typed
+// events delivered to pluggable sinks (JSONL, CSV, in-memory), so benches
+// can replay the paper's Fig 5-style narratives and tests can assert the
+// controller's exact decision sequence.
+//
+// Design constraints:
+//  * Near-zero cost when disabled: a Tracer with no sinks (the default)
+//    answers enabled() with one relaxed atomic load; no event is built.
+//    Emission sites follow `if (tr.enabled(kind)) tr.emit(...)`.
+//  * Thread-safe: emit() serialises sink writes behind one mutex, so a
+//    sink always sees whole events in a single call (the parallel policy
+//    sweep emits from many workers into one file).
+//  * Deterministic: events carry only simulated time and counters — never
+//    wall-clock time or addresses — so a traced run serialises to byte-
+//    identical output across repetitions. (Timer events, which do carry
+//    wall time, are excluded from the default kind mask.)
+//
+// Components resolve a null Tracer* to the process-global tracer
+// (`trace::resolve`), which has no sinks until a bench installs one via
+// --trace / DICER_TRACE.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace dicer::trace {
+
+/// Every event type the system emits. Keep kind_name() in sync.
+enum class Kind : unsigned {
+  kSetup = 0,       ///< policy setup: initial allocation
+  kPeriod,          ///< controller period snapshot (measurements + verdicts)
+  kAllocation,      ///< HP way-count change actually applied
+  kSamplingStart,   ///< Listing 1: CT-T reclassification, sampling plan
+  kSamplingStep,    ///< one settle interval measured
+  kSamplingDone,    ///< plan exhausted, optimum enforced
+  kDonation,        ///< stable period donated one HP way to the BEs
+  kPhaseReset,      ///< Eq. 2 fired
+  kPerfReset,       ///< degraded IPC fired
+  kResetValidate,   ///< Listing 3 validation outcome (incl. rollbacks)
+  kRunBegin,        ///< harness consolidation started
+  kRunEnd,          ///< harness consolidation finished (results)
+  kMonitorPoll,     ///< rdt::Monitor poll_all snapshot (verbose)
+  kQuantum,         ///< sim::Machine quantum counters (verbose)
+  kTimer,           ///< scoped wall-clock timer (verbose, nondeterministic)
+  kCount
+};
+
+const char* kind_name(Kind kind) noexcept;
+
+using KindMask = std::uint32_t;
+
+constexpr KindMask mask_of(Kind kind) noexcept {
+  return KindMask{1} << static_cast<unsigned>(kind);
+}
+
+constexpr KindMask kAllKinds =
+    (KindMask{1} << static_cast<unsigned>(Kind::kCount)) - 1;
+
+/// Default mask: every controller-level event; the per-quantum machine
+/// counters, monitor polls and wall-clock timers are opt-in (they are
+/// high-volume and — for timers — nondeterministic).
+constexpr KindMask kDefaultKinds =
+    kAllKinds & ~(mask_of(Kind::kQuantum) | mask_of(Kind::kMonitorPoll) |
+                  mask_of(Kind::kTimer));
+
+/// One typed key/value pair. Constructors cover the integer widths the
+/// call sites use so `{"hp_ways", hp_ways_}` just works.
+struct Field {
+  using Value =
+      std::variant<bool, std::int64_t, std::uint64_t, double, std::string>;
+
+  std::string key;
+  Value value;
+
+  Field(std::string k, bool v) : key(std::move(k)), value(v) {}
+  Field(std::string k, int v)
+      : key(std::move(k)), value(static_cast<std::int64_t>(v)) {}
+  Field(std::string k, long v)
+      : key(std::move(k)), value(static_cast<std::int64_t>(v)) {}
+  Field(std::string k, long long v)
+      : key(std::move(k)), value(static_cast<std::int64_t>(v)) {}
+  Field(std::string k, unsigned v)
+      : key(std::move(k)), value(static_cast<std::uint64_t>(v)) {}
+  Field(std::string k, unsigned long v)
+      : key(std::move(k)), value(static_cast<std::uint64_t>(v)) {}
+  Field(std::string k, unsigned long long v)
+      : key(std::move(k)), value(static_cast<std::uint64_t>(v)) {}
+  Field(std::string k, double v) : key(std::move(k)), value(v) {}
+  Field(std::string k, const char* v)
+      : key(std::move(k)), value(std::string(v)) {}
+  Field(std::string k, std::string v) : key(std::move(k)), value(std::move(v)) {}
+};
+
+struct Event {
+  Kind kind = Kind::kSetup;
+  double t_sec = 0.0;  ///< simulated time (0 for timeless events)
+  std::vector<Field> fields;
+};
+
+/// Field lookup helpers (first match wins; defaults on absence/type
+/// mismatch). Numeric getters convert between the numeric alternatives.
+const Field* find_field(const Event& event, std::string_view key) noexcept;
+double field_double(const Event& event, std::string_view key,
+                    double def = 0.0) noexcept;
+std::uint64_t field_uint(const Event& event, std::string_view key,
+                         std::uint64_t def = 0) noexcept;
+bool field_bool(const Event& event, std::string_view key,
+                bool def = false) noexcept;
+std::string field_string(const Event& event, std::string_view key,
+                         std::string def = "");
+
+/// One event as a single JSON object, fixed key order
+/// ({"t":..,"kind":..,<fields in emission order>}), no trailing newline.
+std::string to_jsonl(const Event& event);
+/// One event as a CSV row `t,kind,k1=v1;k2=v2;...` (escaped if needed).
+std::string to_csv_row(const Event& event);
+
+/// Sink interface. write() is always called under the owning Tracer's
+/// mutex — implementations need no locking of their own and always see
+/// whole events, in emission order.
+class Sink {
+ public:
+  virtual ~Sink() = default;
+  virtual void write(const Event& event) = 0;
+  virtual void flush() {}
+};
+
+/// JSON-lines file sink. Throws std::runtime_error if the file cannot be
+/// opened (truncates any existing file).
+class JsonlSink final : public Sink {
+ public:
+  explicit JsonlSink(const std::string& path);
+  void write(const Event& event) override;
+  void flush() override;
+
+ private:
+  std::ofstream out_;
+};
+
+/// CSV file sink: header `t_sec,kind,fields` then one to_csv_row per event.
+class CsvSink final : public Sink {
+ public:
+  explicit CsvSink(const std::string& path);
+  void write(const Event& event) override;
+  void flush() override;
+
+ private:
+  std::ofstream out_;
+};
+
+/// In-memory sink for tests and the timeline bench. Reading while another
+/// thread still emits is the caller's race to avoid (detach the sink
+/// first).
+class MemorySink final : public Sink {
+ public:
+  void write(const Event& event) override { events_.push_back(event); }
+  const std::vector<Event>& events() const noexcept { return events_; }
+  std::vector<Event> take() { return std::move(events_); }
+
+ private:
+  std::vector<Event> events_;
+};
+
+/// JsonlSink unless `path` ends in ".csv".
+std::shared_ptr<Sink> make_file_sink(const std::string& path);
+
+/// The event router. enabled(kind) is the hot-path gate: it is true only
+/// when at least one sink is attached AND the kind is in the mask, folded
+/// into one atomic word so disabled tracing costs a single relaxed load.
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Process-wide default tracer (no sinks until someone adds one).
+  static Tracer& global();
+
+  bool enabled(Kind kind) const noexcept {
+    return (active_.load(std::memory_order_relaxed) & mask_of(kind)) != 0;
+  }
+  bool enabled() const noexcept {
+    return active_.load(std::memory_order_relaxed) != 0;
+  }
+
+  /// Which kinds reach the sinks (default kDefaultKinds).
+  void set_kinds(KindMask mask);
+  KindMask kinds() const;
+
+  void add_sink(std::shared_ptr<Sink> sink);
+  /// Detach (and flush) one sink; no-op if it is not attached.
+  void remove_sink(const std::shared_ptr<Sink>& sink);
+  void clear_sinks();
+  void flush();
+
+  /// Deliver one event to every sink (thread-safe). Events whose kind is
+  /// filtered out are dropped here too, so callers may emit untested.
+  void emit(Event event);
+  void emit(Kind kind, double t_sec, std::vector<Field> fields);
+
+ private:
+  void refresh_active_locked();
+
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<Sink>> sinks_;
+  KindMask kinds_ = kDefaultKinds;
+  std::atomic<KindMask> active_{0};
+};
+
+/// Components hold a Tracer* that is null by default; null means "the
+/// process-global tracer".
+inline Tracer& resolve(Tracer* tracer) noexcept {
+  return tracer ? *tracer : Tracer::global();
+}
+
+}  // namespace dicer::trace

@@ -1,0 +1,106 @@
+#include "util/timer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/thread_pool.hpp"
+
+namespace dicer::trace {
+namespace {
+
+TEST(TimerRegistry, AccumulatesPerLabel) {
+  TimerRegistry reg;
+  reg.record("load", 2.0);
+  reg.record("load", 6.0);
+  reg.record("save", 1.0);
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 2u);  // sorted by label
+  EXPECT_EQ(snap[0].first, "load");
+  EXPECT_EQ(snap[0].second.count, 2u);
+  EXPECT_DOUBLE_EQ(snap[0].second.total_ms, 8.0);
+  EXPECT_DOUBLE_EQ(snap[0].second.min_ms, 2.0);
+  EXPECT_DOUBLE_EQ(snap[0].second.max_ms, 6.0);
+  EXPECT_EQ(snap[1].first, "save");
+  EXPECT_EQ(snap[1].second.count, 1u);
+}
+
+TEST(TimerRegistry, ResetClears) {
+  TimerRegistry reg;
+  reg.record("x", 1.0);
+  reg.reset();
+  EXPECT_TRUE(reg.snapshot().empty());
+  EXPECT_EQ(reg.format(), "");
+}
+
+TEST(TimerRegistry, FormatMentionsEveryLabel) {
+  TimerRegistry reg;
+  reg.record("sweep.compute", 10.0);
+  reg.record("sweep.load_cache", 0.5);
+  const std::string table = reg.format();
+  EXPECT_NE(table.find("sweep.compute"), std::string::npos);
+  EXPECT_NE(table.find("sweep.load_cache"), std::string::npos);
+}
+
+TEST(TimerRegistry, ConcurrentRecordIsSafe) {
+  TimerRegistry reg;
+  {
+    util::ThreadPool pool(4);
+    std::vector<std::future<void>> futs;
+    for (int w = 0; w < 4; ++w) {
+      futs.push_back(pool.submit([&reg] {
+        for (int i = 0; i < 200; ++i) reg.record("hot", 0.25);
+      }));
+    }
+    for (auto& f : futs) f.get();
+  }
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].second.count, 800u);
+  EXPECT_DOUBLE_EQ(snap[0].second.total_ms, 200.0);
+}
+
+TEST(ScopedTimer, RecordsIntoRegistry) {
+  TimerRegistry reg;
+  { ScopedTimer timer("scope", nullptr, &reg); }
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].first, "scope");
+  EXPECT_EQ(snap[0].second.count, 1u);
+  EXPECT_GE(snap[0].second.total_ms, 0.0);
+}
+
+TEST(ScopedTimer, ElapsedIsMonotonic) {
+  TimerRegistry reg;
+  ScopedTimer timer("scope", nullptr, &reg);
+  const double a = timer.elapsed_ms();
+  const double b = timer.elapsed_ms();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+}
+
+TEST(ScopedTimer, NoTimerEventUnderDefaultMask) {
+  // kTimer is outside kDefaultKinds: a traced run stays deterministic
+  // unless profiling is explicitly requested.
+  Tracer tracer;
+  auto sink = std::make_shared<MemorySink>();
+  tracer.add_sink(sink);
+  TimerRegistry reg;
+  { ScopedTimer timer("scope", &tracer, &reg); }
+  EXPECT_TRUE(sink->events().empty());
+}
+
+TEST(ScopedTimer, EmitsTimerEventWhenOptedIn) {
+  Tracer tracer;
+  auto sink = std::make_shared<MemorySink>();
+  tracer.add_sink(sink);
+  tracer.set_kinds(kAllKinds);
+  TimerRegistry reg;
+  { ScopedTimer timer("sweep.compute", &tracer, &reg); }
+  ASSERT_EQ(sink->events().size(), 1u);
+  const auto& e = sink->events()[0];
+  EXPECT_EQ(e.kind, Kind::kTimer);
+  EXPECT_EQ(field_string(e, "label"), "sweep.compute");
+  EXPECT_GE(field_double(e, "ms", -1.0), 0.0);
+}
+
+}  // namespace
+}  // namespace dicer::trace
