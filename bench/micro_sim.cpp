@@ -53,6 +53,51 @@ void BM_MachineStepPartitioned(benchmark::State& state) {
 }
 BENCHMARK(BM_MachineStepPartitioned);
 
+// Worst case for the cached region decomposition: every step is preceded
+// by a repartition, so the cache misses each quantum and the full
+// decompose + layout rebuild + cold bisection runs. The gap between this
+// and BM_MachineStep10Apps is the price of one mask churn; a controller
+// acting once per second amortises it over ~100 quanta.
+void BM_MachineStepMaskChurn(benchmark::State& state) {
+  sim::Machine machine{sim::MachineConfig{}};
+  const auto& catalog = sim::default_catalog();
+  for (unsigned c = 0; c < 10; ++c) {
+    machine.attach(c, &catalog.at(c * 5));
+  }
+  unsigned flip = 0;
+  for (auto _ : state) {
+    const unsigned hp_ways = 10 + (flip++ & 7);
+    machine.set_fill_mask(0, sim::WayMask::high(hp_ways, 20));
+    for (unsigned c = 1; c < 10; ++c) {
+      machine.set_fill_mask(c, sim::WayMask::low(20 - hp_ways));
+    }
+    machine.step();
+    benchmark::DoNotOptimize(machine.telemetry(0).instructions);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MachineStepMaskChurn);
+
+// A long consolidation-shaped run: 100 quanta (one 1 s control period)
+// per iteration, crossing app phase boundaries and completions — the
+// sustained-throughput number behind every figure bench, as opposed to
+// the single-quantum steady-state probes above.
+void BM_MachineRunPeriod(benchmark::State& state) {
+  sim::Machine machine{sim::MachineConfig{}};
+  const auto& catalog = sim::default_catalog();
+  machine.attach(0, &catalog.by_name("omnetpp1"));
+  for (unsigned c = 1; c < 10; ++c) {
+    machine.attach(c, &catalog.by_name("gcc_base3"));
+  }
+  for (auto _ : state) {
+    machine.run_for(1.0);
+    benchmark::DoNotOptimize(machine.telemetry(0).instructions);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 100);
+  state.counters["quanta_per_iter"] = 100;
+}
+BENCHMARK(BM_MachineRunPeriod)->Unit(benchmark::kMicrosecond);
+
 void BM_OccupancySolver(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   std::vector<sim::WayMask> masks(n, sim::WayMask::full(20));

@@ -1,6 +1,9 @@
 #include "harness/sweep.hpp"
 
+#include <unistd.h>
+
 #include <atomic>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -128,10 +131,17 @@ std::vector<SweepRow> load_sweep(const std::string& path,
 
 /// Atomically (re)write the cache: stream into a temp file in the same
 /// directory, then rename over `path`, so an interrupted bench never
-/// leaves a truncated cache at the real location.
+/// leaves a truncated cache at the real location. The temp name carries
+/// the pid and a process-wide counter: concurrent writers (two bench
+/// processes sharing a cache dir, or two sweeps in one process) each get
+/// their own temp file instead of interleaving into a shared one, and the
+/// last rename wins with a complete file either way.
 void save_sweep(const std::string& path, const std::string& key,
                 const std::vector<SweepRow>& rows) {
-  const std::string tmp = path + ".tmp";
+  static std::atomic<std::uint64_t> save_counter{0};
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid())) + "." +
+      std::to_string(save_counter.fetch_add(1, std::memory_order_relaxed));
   std::ofstream out(tmp, std::ios::trunc);
   if (!out) {
     DICER_WARN << "cannot write sweep cache " << tmp;

@@ -72,11 +72,49 @@ struct OccupancySolverConfig {
   double max_characteristic_time_sec = 1e3;
 };
 
+/// Reusable buffers + cross-call memoisation for solve_occupancy. Owned by
+/// the caller, one per solver stream (e.g. one per sim::Machine) and one per
+/// solver config: the layout-derived state (per-app eligible capacity,
+/// per-region capacity fractions) is rebuilt after invalidate() or when the
+/// region/app counts change, and each region remembers the characteristic
+/// time of its last solve together with the exact inputs that produced it —
+/// when a region's demand is bit-identical to the previous call the
+/// bisection is skipped and the stored t_c reused verbatim. In the
+/// machine's steady state (converged fixed point, unchanged masks) that
+/// turns the per-quantum solve into a handful of comparisons. Results are
+/// byte-identical with or without scratch reuse.
+struct OccupancyScratch {
+  struct RegionState {
+    double t_c = 0.0;            ///< characteristic time of the last solve
+    bool memo_valid = false;     ///< t_c/inputs describe a completed solve
+    std::vector<double> frac;    ///< capacity fraction per sharer (layout)
+    std::vector<double> inputs;  ///< flattened demand behind the stored t_c
+    std::vector<double> contrib; ///< per-sharer occupancy at the stored t_c
+  };
+  std::vector<double> avail;        ///< per-app total eligible capacity
+  std::vector<RegionState> regions; ///< parallel to the region vector
+  std::vector<double> flat;         ///< per-call flattening buffer
+  bool layout_valid = false;
+
+  /// Must be called whenever the region decomposition changes shape or
+  /// content (mask change, app attach/detach). Equal-sized but different
+  /// layouts are NOT auto-detected.
+  void invalidate() noexcept { layout_valid = false; }
+};
+
 /// Solve the characteristic-time fixed point. Returns per-app effective
 /// cache bytes; an app sharing no region gets 0.
 std::vector<double> solve_occupancy(const std::vector<CacheRegion>& regions,
                                     std::size_t num_apps,
                                     const std::vector<CacheDemand>& demand,
                                     const OccupancySolverConfig& config = {});
+
+/// Allocation-free variant: byte-identical results, but reuses `scratch`
+/// (buffers + warm-start memo) and writes into `occ`, resized to
+/// demand.size(). The steady-state path performs no heap allocation.
+void solve_occupancy(const std::vector<CacheRegion>& regions,
+                     const std::vector<CacheDemand>& demand,
+                     const OccupancySolverConfig& config,
+                     OccupancyScratch& scratch, std::vector<double>& occ);
 
 }  // namespace dicer::sim

@@ -16,7 +16,8 @@ Machine::Machine(const MachineConfig& config)
       mem_throttle_(config.num_cores, 1.0),
       telemetry_(config.num_cores),
       ips_seed_(config.num_cores, 0.0),
-      link_(config.link) {
+      link_(config.link),
+      phase_const_(config.num_cores) {
   if (config_.num_cores == 0 || config_.num_cores > 64) {
     throw std::invalid_argument("Machine: core count outside 1..64");
   }
@@ -38,6 +39,27 @@ void Machine::check_core(unsigned core) const {
   }
 }
 
+void Machine::invalidate_regions() noexcept {
+  regions_valid_ = false;
+  scratch_.occupancy.invalidate();
+}
+
+void Machine::refresh_regions() {
+  if (regions_valid_) return;
+  scratch_.active_masks.clear();
+  for (unsigned c = 0; c < config_.num_cores; ++c) {
+    if (apps_[c]) scratch_.active_masks.push_back(masks_[c]);
+  }
+  regions_ = decompose_regions(scratch_.active_masks, config_.llc.ways,
+                               config_.way_bytes());
+  regions_valid_ = true;
+}
+
+const std::vector<CacheRegion>& Machine::current_regions() {
+  refresh_regions();
+  return regions_;
+}
+
 void Machine::attach(unsigned core, const AppProfile* profile) {
   check_core(core);
   if (apps_[core].has_value()) {
@@ -45,6 +67,8 @@ void Machine::attach(unsigned core, const AppProfile* profile) {
   }
   apps_[core].emplace(profile);
   ips_seed_[core] = 0.0;
+  phase_const_[core].phase = nullptr;
+  invalidate_regions();
 }
 
 void Machine::detach(unsigned core) {
@@ -53,6 +77,13 @@ void Machine::detach(unsigned core) {
   telemetry_[core].occupancy_bytes = 0.0;
   telemetry_[core].last_quantum_ipc = 0.0;
   ips_seed_[core] = 0.0;
+  // The departing tenant's actuator state must not leak to the next one:
+  // reclaiming a core resets its partition and throttle to the defaults,
+  // like an orchestrator returning the core's CLOS to CLOS0.
+  masks_[core] = WayMask::full(config_.llc.ways);
+  mem_throttle_[core] = 1.0;
+  phase_const_[core].phase = nullptr;
+  invalidate_regions();
 }
 
 bool Machine::occupied(unsigned core) const {
@@ -82,7 +113,10 @@ void Machine::set_fill_mask(unsigned core, WayMask mask) {
         "Machine::set_fill_mask: mask exceeds cache ways: " +
         mask.to_string());
   }
-  masks_[core] = mask;
+  if (masks_[core] != mask) {
+    masks_[core] = mask;
+    invalidate_regions();
+  }
 }
 
 WayMask Machine::fill_mask(unsigned core) const {
@@ -112,36 +146,59 @@ const CoreTelemetry& Machine::telemetry(unsigned core) const {
 void Machine::step() {
   const double dt = config_.quantum_sec;
   const double freq = config_.freq_hz;
+  auto& s = scratch_;
 
   // Collect active cores.
-  std::vector<unsigned> active;
-  active.reserve(config_.num_cores);
+  s.active.clear();
   for (unsigned c = 0; c < config_.num_cores; ++c) {
-    if (apps_[c]) active.push_back(c);
+    if (apps_[c]) s.active.push_back(c);
   }
   time_sec_ += dt;
-  if (active.empty()) return;
+  if (s.active.empty()) return;
 
-  const std::size_t n = active.size();
-  std::vector<WayMask> masks(n);
-  std::vector<const AppPhase*> phase(n);
+  const std::size_t n = s.active.size();
+  refresh_regions();
+
+  s.phase.clear();
+  s.pc.clear();
+  s.ips.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
-    masks[i] = masks_[active[i]];
-    phase[i] = &apps_[active[i]]->current_phase();
-  }
-  const auto regions =
-      decompose_regions(masks, config_.llc.ways, config_.way_bytes());
+    const unsigned core = s.active[i];
+    const AppPhase* ph = &apps_[core]->current_phase();
+    s.phase.push_back(ph);
+    auto& pc = phase_const_[core];
+    if (pc.phase != ph) {
+      pc.phase = ph;
+      pc.sf = ph->mrc.stream_fraction();
+      pc.one_minus_sf = 1.0 - pc.sf;
+      pc.floor_m = ph->mrc.floor();
+      pc.span_m = std::max(ph->mrc.ceiling() - pc.floor_m, 1e-9);
+      const auto& comps = ph->mrc.components();
+      double wsum = 0.0;
+      for (const auto& c : comps) wsum += c.weight;
+      pc.wfrac.clear();
+      pc.ws.clear();
+      if (wsum > 0.0) {
+        pc.wfrac.reserve(comps.size());
+        pc.ws.reserve(comps.size());
+        for (const auto& c : comps) {
+          pc.wfrac.push_back(c.weight / wsum);
+          pc.ws.push_back(c.ws_bytes);
+        }
+      }
+      pc.memo_occ = -1.0;
+    }
+    s.pc.push_back(&pc);
 
-  // Warm-started state.
-  std::vector<double> ips(n), occ(n, 0.0);
-  for (std::size_t i = 0; i < n; ++i) {
-    const double seed = ips_seed_[active[i]];
-    ips[i] = seed > 0.0 ? seed : freq / (phase[i]->cpi_core + 1.0);
+    // Warm-started state.
+    const double seed = ips_seed_[core];
+    s.ips[i] = seed > 0.0 ? seed : freq / (ph->cpi_core + 1.0);
   }
 
-  std::vector<double> miss(n, 1.0), demand(n, 0.0);
-  std::vector<CacheDemand> cache_demand(n);
-  LinkArbitration arb;
+  s.occ.assign(n, 0.0);
+  s.miss.assign(n, 1.0);
+  s.demand.assign(n, 0.0);
+  s.cache_demand.resize(n);
   const double line = config_.llc.line_bytes;
 
   for (unsigned round = 0; round < config_.fixed_point_rounds; ++round) {
@@ -149,35 +206,44 @@ void Machine::step() {
     //    Each MRC component becomes a reuse component whose touch rate is
     //    proportional to its miss-mass weight.
     for (std::size_t i = 0; i < n; ++i) {
-      const double touch = phase[i]->api * ips[i] * line;
-      const double sf = phase[i]->mrc.stream_fraction();
-      const auto& comps = phase[i]->mrc.components();
-      double wsum = 0.0;
-      for (const auto& c : comps) wsum += c.weight;
-      cache_demand[i].reuse.clear();
-      if (wsum > 0.0) {
-        for (const auto& c : comps) {
-          cache_demand[i].reuse.push_back(
-              {touch * (1.0 - sf) * (c.weight / wsum), c.ws_bytes});
-        }
+      const AppPhase& ph = *s.phase[i];
+      const PhaseConst& pc = *s.pc[i];
+      const double touch = ph.api * s.ips[i] * line;
+      auto& cd = s.cache_demand[i];
+      const std::size_t comps = pc.wfrac.size();
+      cd.reuse.resize(comps);
+      for (std::size_t j = 0; j < comps; ++j) {
+        cd.reuse[j].rate_bytes_per_sec =
+            touch * pc.one_minus_sf * pc.wfrac[j];
+        cd.reuse[j].footprint_bytes = pc.ws[j];
       }
-      cache_demand[i].stream_bytes_per_sec = touch * sf;
+      cd.stream_bytes_per_sec = touch * pc.sf;
     }
-    occ = solve_occupancy(regions, n, cache_demand, config_.occupancy);
+    solve_occupancy(regions_, s.cache_demand, config_.occupancy, s.occupancy,
+                    s.occ);
 
-    // 2. Miss ratios and bandwidth demand.
+    // 2. Miss ratios and bandwidth demand. Occupancies repeat across
+    //    rounds/quanta in steady state, so each core memoises its last
+    //    (occupancy, miss) evaluation.
     for (std::size_t i = 0; i < n; ++i) {
-      miss[i] = phase[i]->mrc.at(occ[i]);
-      demand[i] =
-          phase[i]->api * miss[i] * ips[i] * line * (1.0 + phase[i]->wb_ratio);
+      PhaseConst& pc = *s.pc[i];
+      if (s.occ[i] != pc.memo_occ) {
+        pc.memo_occ = s.occ[i];
+        pc.memo_miss = s.phase[i]->mrc.at(s.occ[i]);
+      }
+      s.miss[i] = pc.memo_miss;
+      s.demand[i] = s.phase[i]->api * s.miss[i] * s.ips[i] * line *
+                    (1.0 + s.phase[i]->wb_ratio);
     }
-    arb = link_.arbitrate(demand);
+    link_.arbitrate_into(s.demand, s.arb);
 
     // 3. New IPC estimates under the arbitrated latency; bandwidth cap when
     //    the link is oversubscribed. The LLC hit path is shared too: ring /
     //    LLC-port pressure from everyone's access rate inflates it.
     double total_accesses = 0.0;
-    for (std::size_t i = 0; i < n; ++i) total_accesses += phase[i]->api * ips[i];
+    for (std::size_t i = 0; i < n; ++i) {
+      total_accesses += s.phase[i]->api * s.ips[i];
+    }
     const double hit_latency =
         config_.llc_hit_latency_cycles *
         (1.0 +
@@ -186,51 +252,52 @@ void Machine::step() {
                  total_accesses / config_.uncore_access_ref_per_sec, 1.0)));
     double worst_rel = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
+      const AppPhase& ph = *s.phase[i];
+      const PhaseConst& pc = *s.pc[i];
       // Cache starvation serialises reuse misses: degrade MLP with the
       // excess miss ratio above the app's best case.
-      const double floor_m = phase[i]->mrc.floor();
-      const double span_m = std::max(phase[i]->mrc.ceiling() - floor_m, 1e-9);
-      const double excess = std::clamp((miss[i] - floor_m) / span_m, 0.0, 1.0);
+      const double excess =
+          std::clamp((s.miss[i] - pc.floor_m) / pc.span_m, 0.0, 1.0);
       const double mlp_eff =
-          phase[i]->mlp *
+          ph.mlp *
           (1.0 - config_.mlp_squeeze * excess);
       // An MBA throttle delays a core's memory requests: its exposed memory
       // latency stretches by 1/throttle, and its demand falls as its IPS
       // falls — the same route real MBA takes effect through.
       const double cpi =
-          phase[i]->cpi_core +
-          phase[i]->api *
-              ((1.0 - miss[i]) * hit_latency +
-               miss[i] * arb.effective_latency_cycles /
-                   (mlp_eff * mem_throttle_[active[i]]));
+          ph.cpi_core +
+          ph.api *
+              ((1.0 - s.miss[i]) * hit_latency +
+               s.miss[i] * s.arb.effective_latency_cycles /
+                   (mlp_eff * mem_throttle_[s.active[i]]));
       const double target = freq / cpi;
       const double next =
           config_.fixed_point_damping * target +
-          (1.0 - config_.fixed_point_damping) * ips[i];
-      worst_rel = std::max(worst_rel, std::fabs(next - ips[i]) /
-                                          std::max(ips[i], 1.0));
-      ips[i] = next;
+          (1.0 - config_.fixed_point_damping) * s.ips[i];
+      worst_rel = std::max(worst_rel, std::fabs(next - s.ips[i]) /
+                                          std::max(s.ips[i], 1.0));
+      s.ips[i] = next;
     }
     if (worst_rel < 1e-4) break;
   }
 
-  last_rho_ = arb.raw_utilisation;
+  last_rho_ = s.arb.raw_utilisation;
   last_traffic_ = 0.0;
-  for (double a : arb.achieved_bytes_per_sec) last_traffic_ += a;
+  for (double a : s.arb.achieved_bytes_per_sec) last_traffic_ += a;
 
   // Commit the quantum.
   for (std::size_t i = 0; i < n; ++i) {
-    const unsigned core = active[i];
+    const unsigned core = s.active[i];
     auto& tel = telemetry_[core];
-    const double instructions = ips[i] * dt;
+    const double instructions = s.ips[i] * dt;
     const unsigned completed = apps_[core]->advance(instructions);
     tel.instructions += instructions;
     tel.active_cycles += freq * dt;
-    tel.mem_bytes += arb.achieved_bytes_per_sec[i] * dt;
-    tel.occupancy_bytes = occ[i];
+    tel.mem_bytes += s.arb.achieved_bytes_per_sec[i] * dt;
+    tel.occupancy_bytes = s.occ[i];
     tel.completions += completed;
-    tel.last_quantum_ipc = ips[i] / freq;
-    ips_seed_[core] = ips[i];
+    tel.last_quantum_ipc = s.ips[i] / freq;
+    ips_seed_[core] = s.ips[i];
   }
 
   auto& tr = trace::resolve(config_.tracer);
@@ -240,10 +307,10 @@ void Machine::step() {
     fields.emplace_back("rho", last_rho_);
     fields.emplace_back("traffic_bps", last_traffic_);
     for (std::size_t i = 0; i < n; ++i) {
-      const unsigned core = active[i];
+      const unsigned core = s.active[i];
       fields.emplace_back("ipc_c" + std::to_string(core),
                           telemetry_[core].last_quantum_ipc);
-      fields.emplace_back("occ_c" + std::to_string(core), occ[i]);
+      fields.emplace_back("occ_c" + std::to_string(core), s.occ[i]);
     }
     tr.emit(trace::Kind::kQuantum, time_sec_, std::move(fields));
   }

@@ -103,7 +103,10 @@ class Machine {
 
   /// Attach an application to a core (throws if occupied / out of range).
   void attach(unsigned core, const AppProfile* profile);
-  /// Detach (idempotent). Telemetry counters are preserved.
+  /// Detach (idempotent). Telemetry counters are preserved, but the core's
+  /// actuator state — fill mask and memory throttle — reverts to the
+  /// defaults (full mask, no throttle) so the next tenant does not inherit
+  /// the previous one's partition.
   void detach(unsigned core);
   bool occupied(unsigned core) const;
   /// The runtime of the app on `core`; throws if none.
@@ -133,8 +136,50 @@ class Machine {
   /// Total achieved memory traffic rate of the last quantum (bytes/s).
   double last_link_traffic() const noexcept { return last_traffic_; }
 
+  /// The way-region decomposition the next step() will use, rebuilt on
+  /// demand. The decomposition is cached across quanta — fill masks change
+  /// at most once per control period, not once per 10 ms quantum — and
+  /// invalidated by set_fill_mask / attach / detach. Exposed so tests can
+  /// assert the cache tracks every actuator path.
+  const std::vector<CacheRegion>& current_regions();
+
  private:
+  /// Per-phase constants hoisted out of the fixed-point rounds: they only
+  /// change when the app on the core enters a new phase (or the core is
+  /// re-attached), not once per round of every quantum. `phase` is the
+  /// identity key; all other fields are pure functions of that phase.
+  struct PhaseConst {
+    const AppPhase* phase = nullptr;
+    double sf = 0.0;            ///< mrc.stream_fraction()
+    double one_minus_sf = 1.0;  ///< 1 - sf, as the demand split computes it
+    double floor_m = 0.0;       ///< mrc.floor()
+    double span_m = 1e-9;       ///< max(mrc.ceiling() - floor, 1e-9)
+    std::vector<double> wfrac;  ///< weight_j / sum(weights); empty if sum<=0
+    std::vector<double> ws;     ///< component working-set bytes (with wfrac)
+    double memo_occ = -1.0;     ///< last mrc.at() argument on this core
+    double memo_miss = 1.0;     ///< and its value (occupancies repeat in
+                                ///< steady state; at() is pow-heavy)
+  };
+
+  /// Buffers reused across quanta so the steady-state step() performs no
+  /// heap allocation. Sized to the active-app count each step.
+  struct StepScratch {
+    std::vector<unsigned> active;
+    std::vector<WayMask> active_masks;
+    std::vector<const AppPhase*> phase;
+    std::vector<PhaseConst*> pc;
+    std::vector<double> ips;
+    std::vector<double> occ;
+    std::vector<double> miss;
+    std::vector<double> demand;
+    std::vector<CacheDemand> cache_demand;
+    LinkArbitration arb;
+    OccupancyScratch occupancy;
+  };
+
   void check_core(unsigned core) const;
+  void refresh_regions();
+  void invalidate_regions() noexcept;
 
   MachineConfig config_;
   double time_sec_ = 0.0;
@@ -146,6 +191,10 @@ class Machine {
   MemoryLink link_;
   double last_rho_ = 0.0;
   double last_traffic_ = 0.0;
+  std::vector<PhaseConst> phase_const_;  ///< per core
+  std::vector<CacheRegion> regions_;     ///< cached decomposition
+  bool regions_valid_ = false;
+  StepScratch scratch_;
 };
 
 }  // namespace dicer::sim

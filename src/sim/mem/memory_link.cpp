@@ -32,6 +32,12 @@ double MemoryLink::latency_at(double raw_utilisation) const noexcept {
 LinkArbitration MemoryLink::arbitrate(
     std::span<const double> demand_bytes_per_sec) const {
   LinkArbitration out;
+  arbitrate_into(demand_bytes_per_sec, out);
+  return out;
+}
+
+void MemoryLink::arbitrate_into(std::span<const double> demand_bytes_per_sec,
+                                LinkArbitration& out) const {
   double total = 0.0;
   for (double d : demand_bytes_per_sec) {
     if (d < 0.0) throw std::invalid_argument("MemoryLink: negative demand");
@@ -41,11 +47,11 @@ LinkArbitration MemoryLink::arbitrate(
   out.utilisation = std::min(out.raw_utilisation, 1.0);
   out.throttle = out.raw_utilisation > 1.0 ? 1.0 / out.raw_utilisation : 1.0;
   out.effective_latency_cycles = latency_at(out.raw_utilisation);
+  out.achieved_bytes_per_sec.clear();
   out.achieved_bytes_per_sec.reserve(demand_bytes_per_sec.size());
   for (double d : demand_bytes_per_sec) {
     out.achieved_bytes_per_sec.push_back(d * out.throttle);
   }
-  return out;
 }
 
 }  // namespace dicer::sim

@@ -58,6 +58,13 @@ class MemoryLink {
   /// Arbitrate the given per-requester demands (bytes/s, >= 0).
   LinkArbitration arbitrate(std::span<const double> demand_bytes_per_sec) const;
 
+  /// Arbitrate into a caller-provided result, reusing its buffers (the
+  /// achieved-bandwidth vector is cleared and refilled, keeping its
+  /// capacity). Byte-identical to arbitrate(); this is the machine's
+  /// allocation-free per-quantum path.
+  void arbitrate_into(std::span<const double> demand_bytes_per_sec,
+                      LinkArbitration& out) const;
+
   /// Congestion latency for a *raw* utilisation (may exceed 1); exposed for
   /// tests and the link-model micro bench.
   double latency_at(double raw_utilisation) const noexcept;

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace dicer::harness {
@@ -332,6 +334,49 @@ TEST(PolicySweep, ParallelCacheFileByteIdenticalToSerial) {
   }
   std::remove(serial_path.c_str());
   std::remove(parallel_path.c_str());
+}
+
+TEST(PolicySweep, ConcurrentSaversNeverCorruptTheCache) {
+  // Two sweeps force-recomputing into the same cache path (two bench
+  // processes sharing a cache dir) must not clobber each other's temp
+  // file mid-write: each save streams into a unique temp name and the
+  // last atomic rename wins with a complete file.
+  const std::string dir = ::testing::TempDir();
+  const std::string path = dir + "/sweep_concurrent_save.csv";
+  std::remove(path.c_str());
+  const std::vector<BaselineEntry> sample = {
+      sample_entry("milc1", "gcc_base3")};
+  auto cfg = small_config();
+  cfg.jobs = 1;
+  const auto expected =
+      policy_sweep(sim::default_catalog(), sample, cfg, "");
+
+  std::vector<std::thread> writers;
+  for (int i = 0; i < 4; ++i) {
+    writers.emplace_back([&] {
+      policy_sweep(sim::default_catalog(), sample, cfg, path,
+                   /*force_recompute=*/true);
+    });
+  }
+  for (auto& t : writers) t.join();
+
+  // Whatever interleaving happened, the installed cache is complete: a
+  // plain (non-forced) sweep hits it and returns the full grid (to
+  // serialisation precision — the hit path reads the CSV back).
+  const auto cached = policy_sweep(sim::default_catalog(), sample, cfg, path);
+  ASSERT_EQ(cached.size(), expected.size());
+  for (std::size_t i = 0; i < cached.size(); ++i) {
+    EXPECT_EQ(cached[i].policy, expected[i].policy);
+    EXPECT_EQ(cached[i].cores, expected[i].cores);
+    EXPECT_NEAR(cached[i].hp_ipc, expected[i].hp_ipc, 1e-5);
+    EXPECT_NEAR(cached[i].efu, expected[i].efu, 1e-5);
+  }
+  // And no temp droppings were left next to it.
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    EXPECT_EQ(entry.path().string().find(path + ".tmp"), std::string::npos)
+        << "stray temp file: " << entry.path();
+  }
+  std::remove(path.c_str());
 }
 
 TEST(ResolveSweepJobs, ExplicitRequestWins) {

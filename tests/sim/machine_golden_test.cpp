@@ -1,0 +1,193 @@
+// Golden equivalence tests for the allocation-free simulator hot path.
+//
+// The pinned values were harvested (printf %.17g) from the implementation
+// BEFORE the scratch-state / cached-region-decomposition / warm-started
+// occupancy optimisation (commit 0d2c1dc), so these tests prove the
+// optimised step() is byte-identical to the original, not merely close:
+// every comparison is exact double equality. If an intentional model
+// change ever lands, re-harvest the constants and say so in the PR.
+//
+// The companion invalidation tests pin the *caching contract*: the region
+// decomposition cache must track every actuator path (set_fill_mask,
+// attach, detach) exactly, and stale occupancy memos must never survive a
+// mask change.
+#include "sim/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/cache/occupancy_model.hpp"
+#include "sim/core/catalog.hpp"
+
+namespace dicer::sim {
+namespace {
+
+const AppProfile& app(const char* name) {
+  return default_catalog().by_name(name);
+}
+
+struct GoldenCore {
+  unsigned core;
+  double instructions;
+  double mem_bytes;
+  double occupancy_bytes;
+  double last_quantum_ipc;
+};
+
+void expect_core_exact(const Machine& m, const GoldenCore& g) {
+  const auto& t = m.telemetry(g.core);
+  EXPECT_EQ(t.instructions, g.instructions) << "core " << g.core;
+  EXPECT_EQ(t.mem_bytes, g.mem_bytes) << "core " << g.core;
+  EXPECT_EQ(t.occupancy_bytes, g.occupancy_bytes) << "core " << g.core;
+  EXPECT_EQ(t.last_quantum_ipc, g.last_quantum_ipc) << "core " << g.core;
+}
+
+TEST(MachineGolden, UnmanagedMelee) {
+  // milc1 + 9x gcc_base3, 2 s, no masks: the paper's UM baseline shape.
+  Machine m{MachineConfig{}};
+  m.attach(0, &app("milc1"));
+  for (unsigned c = 1; c < 10; ++c) m.attach(c, &app("gcc_base3"));
+  m.run_for(2.0);
+  EXPECT_EQ(m.last_link_utilisation(), 0.36069474369418336);
+  EXPECT_EQ(m.last_link_traffic(), 3079431374.2890906);
+  expect_core_exact(m, {0, 3048611021.7973833, 2814776797.2703452,
+                        4458868.2008231971, 0.58665361631917234});
+  expect_core_exact(m, {1, 4380012910.6687689, 257193222.4759258,
+                        2417281.31105211, 0.99324046284042189});
+}
+
+TEST(MachineGolden, StaticPartition) {
+  // CT-shaped layout: omnetpp1 isolated on 19 ways, 9x gcc_base3 on 1.
+  Machine m{MachineConfig{}};
+  m.attach(0, &app("omnetpp1"));
+  for (unsigned c = 1; c < 10; ++c) m.attach(c, &app("gcc_base3"));
+  m.set_fill_mask(0, WayMask::high(19, 20));
+  for (unsigned c = 1; c < 10; ++c) m.set_fill_mask(c, WayMask::low(1));
+  m.run_for(2.0);
+  EXPECT_EQ(m.last_link_utilisation(), 0.50350295374425835);
+  EXPECT_EQ(m.last_link_traffic(), 4298656467.5916061);
+  expect_core_exact(m, {0, 2798924466.9815516, 175308532.90655601,
+                        24903680.000757858, 0.63612087502571435});
+  expect_core_exact(m, {1, 2758351674.0736752, 935777981.83065259,
+                        145635.55479047901, 0.62689815397691273});
+}
+
+TEST(MachineGolden, ActuatorChurnMidRun) {
+  // Every actuator path mid-run: repartition, throttle, detach, re-attach.
+  Machine m{MachineConfig{}};
+  m.attach(0, &app("omnetpp1"));
+  m.attach(1, &app("lbm1"));
+  m.attach(2, &app("gcc_base3"));
+  m.run_for(0.5);
+  m.set_fill_mask(0, WayMask::high(10, 20));
+  m.set_fill_mask(1, WayMask::low(10));
+  m.set_mem_throttle(1, 0.5);
+  m.run_for(0.5);
+  m.detach(2);
+  m.run_for(0.5);
+  m.attach(2, &app("bzip22"));
+  m.set_fill_mask(2, WayMask::low(10));
+  m.run_for(0.5);
+  EXPECT_EQ(m.last_link_utilisation(), 0.2955982826177817);
+  EXPECT_EQ(m.last_link_traffic(), 2523670337.8493114);
+  expect_core_exact(m, {0, 2567348417.4336491, 499999584.98168129,
+                        13107199.999590229, 0.58959061167503035});
+  expect_core_exact(m, {1, 2685244867.9547515, 3473035175.2660871,
+                        9758438.9078741409, 0.34332902824700767});
+  expect_core_exact(m, {2, 3302820926.7428303, 180285069.36649564,
+                        3348761.0930942418, 0.93985270422186939});
+}
+
+// --- region-decomposition cache invalidation ------------------------------
+
+/// The oracle: decompose the active cores' masks from scratch and require
+/// the machine's cached decomposition to match it exactly.
+void expect_regions_fresh(Machine& m) {
+  std::vector<WayMask> masks;
+  for (unsigned c = 0; c < m.num_cores(); ++c) {
+    if (m.occupied(c)) masks.push_back(m.fill_mask(c));
+  }
+  const auto fresh = decompose_regions(masks, m.num_ways(),
+                                       m.config().way_bytes());
+  const auto& cached = m.current_regions();
+  ASSERT_EQ(cached.size(), fresh.size());
+  for (std::size_t i = 0; i < fresh.size(); ++i) {
+    EXPECT_EQ(cached[i].capacity_bytes, fresh[i].capacity_bytes) << i;
+    EXPECT_EQ(cached[i].sharers, fresh[i].sharers) << i;
+  }
+}
+
+TEST(MachineRegionCache, TracksEveryActuatorPath) {
+  Machine m{MachineConfig{}};
+  expect_regions_fresh(m);  // empty machine: no regions
+
+  m.attach(0, &app("omnetpp1"));
+  expect_regions_fresh(m);
+  m.attach(1, &app("gcc_base3"));
+  m.attach(2, &app("gcc_base3"));
+  expect_regions_fresh(m);
+  m.step();
+
+  m.set_fill_mask(0, WayMask::high(15, 20));
+  expect_regions_fresh(m);
+  m.step();
+  m.set_fill_mask(1, WayMask::low(5));
+  m.set_fill_mask(2, WayMask::low(5));
+  expect_regions_fresh(m);
+  m.step();
+
+  // No-op mask write: still consistent (and must not disturb results).
+  m.set_fill_mask(1, WayMask::low(5));
+  expect_regions_fresh(m);
+  m.step();
+
+  m.detach(1);
+  expect_regions_fresh(m);
+  m.step();
+  m.attach(1, &app("lbm1"));
+  expect_regions_fresh(m);
+  m.step();
+  m.detach(0);
+  m.detach(2);
+  expect_regions_fresh(m);
+  m.step();
+  expect_regions_fresh(m);
+}
+
+TEST(MachineRegionCache, StaleOccupancyNeverSurvivesShrink) {
+  // Drive a cache-hungry app to a large steady-state occupancy, then
+  // shrink its partition: the next quanta must confine it to the new
+  // region's capacity. A stale decomposition or occupancy memo would keep
+  // reporting the old ~20 MB holding.
+  Machine m{MachineConfig{}};
+  m.attach(0, &app("omnetpp1"));
+  m.run_for(1.0);
+  const double way = m.config().way_bytes();
+  EXPECT_GT(m.telemetry(0).occupancy_bytes, 4 * way);
+  m.set_fill_mask(0, WayMask::low(2));
+  m.run_for(0.2);
+  EXPECT_LE(m.telemetry(0).occupancy_bytes, 2 * way * 1.001);
+}
+
+TEST(MachineRegionCache, RedundantMaskWritesDoNotChangeResults) {
+  // A controller that re-asserts the same masks every period must produce
+  // exactly the run it would with a single write.
+  auto run = [](bool redundant_writes) {
+    Machine m{MachineConfig{}};
+    m.attach(0, &app("omnetpp1"));
+    for (unsigned c = 1; c < 6; ++c) m.attach(c, &app("gcc_base3"));
+    m.set_fill_mask(0, WayMask::high(15, 20));
+    for (unsigned c = 1; c < 6; ++c) m.set_fill_mask(c, WayMask::low(5));
+    for (int period = 0; period < 5; ++period) {
+      if (redundant_writes) {
+        m.set_fill_mask(0, WayMask::high(15, 20));
+        for (unsigned c = 1; c < 6; ++c) m.set_fill_mask(c, WayMask::low(5));
+      }
+      m.run_for(0.2);
+    }
+    return m.telemetry(0).instructions;
+  };
+  EXPECT_EQ(run(true), run(false));
+}
+
+}  // namespace
+}  // namespace dicer::sim

@@ -38,6 +38,29 @@ TEST(Machine, AttachDetachLifecycle) {
   EXPECT_THROW(m.attach(10, &app("namd1")), std::out_of_range);
 }
 
+TEST(Machine, DetachResetsActuatorState) {
+  // Regression: detach used to leave the departing tenant's fill mask and
+  // MBA throttle in place, so the next attach on the core silently
+  // inherited the previous tenant's partition.
+  Machine m{MachineConfig{}};
+  m.attach(3, &app("omnetpp1"));
+  m.set_fill_mask(3, WayMask::low(2));
+  m.set_mem_throttle(3, 0.25);
+  m.detach(3);
+  EXPECT_EQ(m.fill_mask(3), WayMask::full(m.num_ways()));
+  EXPECT_DOUBLE_EQ(m.mem_throttle(3), 1.0);
+
+  // A new tenant on the reclaimed core runs unthrottled on the full LLC:
+  // byte-identical to attaching it to a never-used machine.
+  auto run = [](Machine& machine) {
+    machine.attach(3, &app("milc1"));
+    machine.run_for(1.0);
+    return machine.telemetry(3).last_quantum_ipc;
+  };
+  Machine fresh{MachineConfig{}};
+  EXPECT_EQ(run(m), run(fresh));
+}
+
 TEST(Machine, RuntimeAccess) {
   Machine m{MachineConfig{}};
   EXPECT_THROW(m.runtime(0), std::logic_error);

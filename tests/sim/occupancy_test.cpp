@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <numeric>
 
 namespace dicer::sim {
@@ -154,6 +155,94 @@ TEST(SolveOccupancy, MultiComponentHotFillsBeforeTail) {
       solve_occupancy(regions, 2, {app, stream_app(2 * GBs)});
   // The hot MB should be (nearly) fully covered despite the streamer.
   EXPECT_GT(occ[0], 0.9 * MB);
+}
+
+// --- scratch / warm-start solver ------------------------------------------
+
+std::vector<double> solve_with_scratch(const std::vector<CacheRegion>& regions,
+                                       const std::vector<CacheDemand>& demand,
+                                       OccupancyScratch& scratch) {
+  std::vector<double> occ;
+  solve_occupancy(regions, demand, OccupancySolverConfig{}, scratch, occ);
+  return occ;
+}
+
+void expect_bitwise_equal(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]) << i;
+}
+
+TEST(OccupancyScratchSolver, MatchesAllocatingSolverBitwise) {
+  std::vector<WayMask> masks = {WayMask::high(19, 20), WayMask::low(1),
+                                WayMask::low(1)};
+  const auto regions = decompose_regions(masks, 20, MB);
+  OccupancyScratch scratch;
+  // A sequence of changing demands through one reused scratch must be
+  // byte-identical to fresh allocating solves at every step.
+  for (int it = 0; it < 5; ++it) {
+    std::vector<CacheDemand> demand = {
+        reuse_app((1.0 + 0.3 * it) * GBs, 5 * MB),
+        stream_app((2.0 + it) * GBs),
+        reuse_app(0.5 * GBs, (10.0 + it) * MB)};
+    expect_bitwise_equal(solve_with_scratch(regions, demand, scratch),
+                         solve_occupancy(regions, 3, demand));
+  }
+}
+
+TEST(OccupancyScratchSolver, MemoHitReproducesColdSolve) {
+  std::vector<WayMask> masks(4, WayMask::full(20));
+  const auto regions = decompose_regions(masks, 20, MB);
+  const std::vector<CacheDemand> demand = {
+      stream_app(2 * GBs), reuse_app(1 * GBs, 40 * MB),
+      reuse_app(0.5 * GBs, 10 * MB), stream_app(1 * GBs)};
+  OccupancyScratch scratch;
+  const auto cold = solve_with_scratch(regions, demand, scratch);
+  // Second call with identical inputs takes the warm-start path.
+  expect_bitwise_equal(solve_with_scratch(regions, demand, scratch), cold);
+  // A one-ulp nudge of a single rate must defeat the memo: the result has
+  // to match a fresh solve of the nudged demand, not the stale one.
+  auto nudged = demand;
+  nudged[1].reuse[0].rate_bytes_per_sec =
+      std::nextafter(nudged[1].reuse[0].rate_bytes_per_sec, 2e18);
+  expect_bitwise_equal(solve_with_scratch(regions, nudged, scratch),
+                       solve_occupancy(regions, 4, nudged));
+}
+
+TEST(OccupancyScratchSolver, InvalidateTracksLayoutChange) {
+  OccupancyScratch scratch;
+  const std::vector<CacheDemand> demand = {reuse_app(1 * GBs, 30 * MB),
+                                           stream_app(5 * GBs)};
+  // Same region count, same app count, different capacities: the scratch
+  // cannot auto-detect this — invalidate() is the caller's contract.
+  std::vector<WayMask> shared = {WayMask::high(19, 20), WayMask::low(1)};
+  std::vector<WayMask> even = {WayMask::high(10, 20), WayMask::low(10)};
+  const auto regions_a = decompose_regions(shared, 20, MB);
+  const auto regions_b = decompose_regions(even, 20, MB);
+  expect_bitwise_equal(solve_with_scratch(regions_a, demand, scratch),
+                       solve_occupancy(regions_a, 2, demand));
+  scratch.invalidate();
+  expect_bitwise_equal(solve_with_scratch(regions_b, demand, scratch),
+                       solve_occupancy(regions_b, 2, demand));
+}
+
+TEST(OccupancyScratchSolver, ShapeChangeDetectedWithoutInvalidate) {
+  // Region-count and app-count changes are auto-detected even if the
+  // caller forgets invalidate().
+  OccupancyScratch scratch;
+  std::vector<WayMask> one = {WayMask::full(20)};
+  std::vector<WayMask> three = {WayMask::high(19, 20), WayMask::low(1),
+                                WayMask::low(1)};
+  const auto regions_one = decompose_regions(one, 20, MB);
+  const auto regions_three = decompose_regions(three, 20, MB);
+  const std::vector<CacheDemand> d1 = {stream_app(1 * GBs)};
+  const std::vector<CacheDemand> d3 = {reuse_app(1 * GBs, 5 * MB),
+                                       stream_app(2 * GBs),
+                                       stream_app(3 * GBs)};
+  expect_bitwise_equal(solve_with_scratch(regions_one, d1, scratch),
+                       solve_occupancy(regions_one, 1, d1));
+  expect_bitwise_equal(solve_with_scratch(regions_three, d3, scratch),
+                       solve_occupancy(regions_three, 3, d3));
 }
 
 // Conservation holds across arbitrary mask layouts.
