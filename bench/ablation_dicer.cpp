@@ -12,7 +12,9 @@
 // Reported per variant over the 120-workload sample at 10 cores: HP SLO
 // conformance (80/90%), geomean EFU, geomean SUCI(SLO=90%, lambda=1), and
 // controller activity counters. --stats widens the table with the full
-// DicerStats breakdown (settle steps, phase vs perf resets, rollbacks).
+// DicerStats breakdown (settle steps, phase vs perf resets, rollbacks)
+// plus the simulator's convergence counters (replay hit rate, mean
+// fixed-point rounds per solve) summed over the variant's runs.
 #include <memory>
 
 #include "bench_common.hpp"
@@ -68,7 +70,7 @@ int main(int argc, char** argv) {
                                        "donations", "resets"};
   if (full_stats) {
     for (const char* c : {"settle_steps", "phase_resets", "perf_resets",
-                          "rollbacks"}) {
+                          "rollbacks", "replay_pct", "rounds_mean"}) {
       head.push_back(c);
       csv_head.push_back(c);
     }
@@ -82,6 +84,7 @@ int main(int argc, char** argv) {
   for (const auto& vname : variants) {
     std::vector<double> norms, efus, sucis;
     policy::DicerStats sum;
+    sim::SolverStats solver;
     for (const auto& e : sample) {
       auto pol = make_variant(vname);
       const auto res = harness::run_consolidation(
@@ -102,6 +105,7 @@ int main(int argc, char** argv) {
       sum.phase_resets += st.phase_resets;
       sum.perf_resets += st.perf_resets;
       sum.rollbacks += st.rollbacks;
+      solver.merge(res.solver);
     }
     const double slo80 = 100.0 * metrics::slo_conformance(norms, 0.80);
     const double slo90 = 100.0 * metrics::slo_conformance(norms, 0.90);
@@ -120,6 +124,14 @@ int main(int argc, char** argv) {
       cols.push_back(static_cast<double>(sum.phase_resets));
       cols.push_back(static_cast<double>(sum.perf_resets));
       cols.push_back(static_cast<double>(sum.rollbacks));
+      cols.push_back(solver.quanta
+                         ? 100.0 * static_cast<double>(solver.replays) /
+                               static_cast<double>(solver.quanta)
+                         : 0.0);
+      cols.push_back(solver.solves
+                         ? static_cast<double>(solver.total_rounds()) /
+                               static_cast<double>(solver.solves)
+                         : 0.0);
     }
     t.add_row(vname, cols, -1);
     csv.row_labeled(vname, cols);

@@ -78,6 +78,67 @@ void BM_MachineStepMaskChurn(benchmark::State& state) {
 }
 BENCHMARK(BM_MachineStepMaskChurn);
 
+// Ten single-phase apps: after the fixed point settles once, every
+// quantum's solver inputs are unchanged, so the steady-state replay path
+// carries the whole benchmark. This is the regime the policy sweep spends
+// most of its time in (solo runs and settled consolidation stretches);
+// BM_MachineStep10Apps, with its 50 phase schedules, bounds the other end
+// where drift solves dominate.
+void BM_MachineStepSteadyState(benchmark::State& state) {
+  const auto& catalog = sim::default_catalog();
+  static std::vector<sim::AppProfile> profiles = [&] {
+    std::vector<sim::AppProfile> ps;
+    for (unsigned c = 0; c < 10; ++c) {
+      sim::AppProfile p = catalog.at(c * 5);
+      p.phases.resize(1);
+      ps.push_back(std::move(p));
+    }
+    return ps;
+  }();
+  sim::Machine machine{sim::MachineConfig{}};
+  for (unsigned c = 0; c < 10; ++c) {
+    machine.attach(c, &profiles[c]);
+  }
+  for (auto _ : state) {
+    machine.step();
+    benchmark::DoNotOptimize(machine.telemetry(0).instructions);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  const auto& stats = machine.solver_stats();
+  state.counters["replay_pct"] =
+      100.0 * static_cast<double>(stats.replays) /
+      static_cast<double>(std::max<std::uint64_t>(stats.quanta, 1));
+}
+BENCHMARK(BM_MachineStepSteadyState);
+
+// The same single-phase workload with the convergence shortcuts disabled:
+// the pure fixed-point solve path, i.e. what every step cost before replay
+// existed. The gap to BM_MachineStepSteadyState is the price of one solve.
+void BM_MachineStepNoShortcuts(benchmark::State& state) {
+  const auto& catalog = sim::default_catalog();
+  static std::vector<sim::AppProfile> profiles = [&] {
+    std::vector<sim::AppProfile> ps;
+    for (unsigned c = 0; c < 10; ++c) {
+      sim::AppProfile p = catalog.at(c * 5);
+      p.phases.resize(1);
+      ps.push_back(std::move(p));
+    }
+    return ps;
+  }();
+  sim::MachineConfig config{};
+  config.solver_shortcuts = false;
+  sim::Machine machine{config};
+  for (unsigned c = 0; c < 10; ++c) {
+    machine.attach(c, &profiles[c]);
+  }
+  for (auto _ : state) {
+    machine.step();
+    benchmark::DoNotOptimize(machine.telemetry(0).instructions);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MachineStepNoShortcuts);
+
 // A long consolidation-shaped run: 100 quanta (one 1 s control period)
 // per iteration, crossing app phase boundaries and completions — the
 // sustained-throughput number behind every figure bench, as opposed to

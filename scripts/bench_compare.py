@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON files and fail on perf regressions.
+
+CI archives ``BENCH_micro_sim.json`` on every run; this script diffs the
+current file against the previous run's artifact and exits non-zero when
+any pinned steady-state benchmark regressed by more than the allowed
+fraction. The pinned set covers the convergence-aware solve paths that
+PR "early-exit fixed point + steady-state replay" sped up — the ones a
+careless change to the solver or the replay fingerprint would silently
+slow down again.
+
+Missing inputs are tolerated by design: the first run of a repository
+(or a renamed bench) has no baseline to diff against, so absence of the
+old file or of a pinned bench in it warns and exits 0. Absence of a
+pinned bench in the *new* file is an error — the bench was deleted.
+
+Usage:
+    bench_compare.py OLD.json NEW.json [--max-regression 0.25]
+                     [--bench NAME ...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+# Steady-state machine-step benches guarded against regression. Keep in
+# sync with bench/micro_sim.cpp and the README perf table.
+DEFAULT_BENCHES = [
+    "BM_MachineStepSteadyState",
+    "BM_MachineStep10Apps",
+    "BM_MachineStepPartitioned",
+    "BM_MachineRunPeriod",
+]
+
+_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_times_ns(path):
+    """Map benchmark name -> real_time in ns, or None if unreadable."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
+        return None
+    times = {}
+    for b in data.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        unit = _UNIT_NS.get(b.get("time_unit", "ns"))
+        if unit is None or "real_time" not in b or "name" not in b:
+            continue
+        times[b["name"]] = b["real_time"] * unit
+    return times
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("old", help="baseline benchmark JSON (previous run)")
+    ap.add_argument("new", help="current benchmark JSON")
+    ap.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="allowed fractional slowdown per bench (default 0.25 = +25%%)",
+    )
+    ap.add_argument(
+        "--bench",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="pinned bench to compare (repeatable; default: the "
+        "steady-state machine-step set)",
+    )
+    args = ap.parse_args(argv)
+    benches = args.bench if args.bench else DEFAULT_BENCHES
+
+    old = load_times_ns(args.old)
+    if old is None:
+        print("bench_compare: no baseline — skipping (first run?)")
+        return 0
+    new = load_times_ns(args.new)
+    if new is None:
+        print("bench_compare: current results unreadable", file=sys.stderr)
+        return 1
+
+    failed = []
+    width = max(len(b) for b in benches)
+    print(f"{'benchmark':<{width}} {'old ns':>12} {'new ns':>12} {'ratio':>7}")
+    for name in benches:
+        if name not in new:
+            print(f"{name:<{width}} {'-':>12} {'-':>12} {'gone':>7}")
+            failed.append(f"{name}: missing from current results")
+            continue
+        if name not in old:
+            print(f"{name:<{width}} {'-':>12} {new[name]:>12.1f} {'new':>7}")
+            continue
+        ratio = new[name] / old[name] if old[name] > 0 else float("inf")
+        flag = ""
+        if ratio > 1.0 + args.max_regression:
+            flag = "  << REGRESSION"
+            failed.append(f"{name}: {ratio:.2f}x slower")
+        print(
+            f"{name:<{width}} {old[name]:>12.1f} {new[name]:>12.1f} "
+            f"{ratio:>6.2f}x{flag}"
+        )
+
+    if failed:
+        limit = 1.0 + args.max_regression
+        print(
+            f"bench_compare: FAIL (limit {limit:.2f}x): " + "; ".join(failed),
+            file=sys.stderr,
+        )
+        return 1
+    print("bench_compare: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,24 @@
 
 namespace dicer::harness {
 
+void record_solver_counters(const sim::SolverStats& stats) {
+  auto& reg = trace::TimerRegistry::global();
+  reg.add_count("solver.quanta", stats.quanta);
+  reg.add_count("solver.replays", stats.replays);
+  reg.add_count("solver.solves", stats.solves);
+  reg.add_count("solver.solves_stable", stats.stable_solves);
+  reg.add_count("solver.rounds", stats.total_rounds());
+  reg.add_count("solver.invalidations.actuator", stats.invalidations_actuator);
+  reg.add_count("solver.invalidations.fingerprint",
+                stats.invalidations_fingerprint);
+  for (std::size_t r = 0; r < stats.rounds_hist.size(); ++r) {
+    if (stats.rounds_hist[r] != 0) {
+      reg.add_count("solver.rounds_hist." + std::to_string(r + 1),
+                    stats.rounds_hist[r]);
+    }
+  }
+}
+
 std::vector<metrics::IpcPair> ConsolidationResult::ipc_pairs(
     double hp_alone, double be_alone) const {
   std::vector<metrics::IpcPair> pairs;
@@ -111,6 +129,8 @@ ConsolidationResult run_consolidation(const sim::AppProfile& hp,
                           : be_sum / static_cast<double>(res.be_ipcs.size());
   res.avg_link_utilisation =
       res.window_sec > 0.0 ? rho_integral / res.window_sec : 0.0;
+  res.solver = machine.solver_stats();
+  record_solver_counters(res.solver);
   if (tr.enabled(trace::Kind::kRunEnd)) {
     tr.emit(trace::Kind::kRunEnd, machine.time_sec(),
             {{"policy", res.policy},

@@ -42,6 +42,7 @@ struct ConsolidationResult {
   std::uint64_t be_completions = 0;  ///< summed over BEs
   double avg_link_utilisation = 0.0; ///< time-averaged rho
   bool window_capped = false;        ///< hit max_window before completions
+  sim::SolverStats solver;           ///< quantum-solve convergence counters
 
   /// Pairs (HP first) ready for metrics::effective_utilisation, given the
   /// solo IPCs of HP and BE.
@@ -54,5 +55,12 @@ ConsolidationResult run_consolidation(const sim::AppProfile& hp,
                                       const sim::AppProfile& be,
                                       policy::Policy& policy,
                                       const ConsolidationConfig& config = {});
+
+/// Accumulate a machine's convergence counters into the global
+/// trace::TimerRegistry (the `--profile` output): quanta, replay hits,
+/// solves by stability, fixed-point rounds (total and histogram) and
+/// invalidation causes. Called by every harness that drives a Machine;
+/// thread-safe, so parallel sweep workers merge into one profile.
+void record_solver_counters(const sim::SolverStats& stats);
 
 }  // namespace dicer::harness

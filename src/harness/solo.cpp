@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "harness/consolidation.hpp"
 #include "sim/mem/memory_link.hpp"
 
 namespace dicer::harness {
@@ -92,6 +93,9 @@ SoloResult solo_simulated(const sim::AppProfile& profile, unsigned ways,
   out.time_sec = machine.time_sec() - t0;
   out.ipc = tel.instructions / tel.active_cycles;
   out.mem_bw_bytes_per_sec = tel.mem_bytes / out.time_sec;
+  // A solo run never changes masks or phases mid-steady-state, so nearly
+  // every quantum replays; the counters make that visible under --profile.
+  record_solver_counters(machine.solver_stats());
   return out;
 }
 

@@ -29,8 +29,11 @@ std::string sweep_key(const sim::AppCatalog& catalog,
                       const SweepConfig& config) {
   // Order-sensitive FNV over the sample labels, policies and core counts,
   // plus every config field that shapes results: machine geometry (cores,
-  // frequency, LLC ways, link) and the consolidation window/MBA settings.
-  // Worker count is deliberately excluded — it never changes rows.
+  // frequency, LLC ways, link), the fixed-point solver knobs and the
+  // consolidation window/MBA settings. Worker count and the solver
+  // shortcuts are deliberately excluded — neither ever changes rows (the
+  // shortcuts are byte-identical by construction, and the equivalence
+  // tests hold them to that).
   std::uint64_t h = 0xcbf29ce484222325ULL;
   auto mix = [&h](const std::string& s) {
     for (char c : s) {
@@ -44,12 +47,13 @@ std::string sweep_key(const sim::AppCatalog& catalog,
   for (const auto& p : config.policies) mix(p);
   for (unsigned c : config.cores) mix(std::to_string(c));
   const auto& m = config.base.machine;
-  char buf[320];
+  char buf[352];
   std::snprintf(buf, sizeof buf,
-                "dicer-sweep-v5:%016llx:%016llx:%u:%u:%g:%g:%g:%g:%g:%d",
+                "dicer-sweep-v6:%016llx:%016llx:%u:%u:%g:%g:%g:%u:%g:%g:%g:%d",
                 static_cast<unsigned long long>(catalog_fingerprint(catalog)),
                 static_cast<unsigned long long>(h), m.llc.ways, m.num_cores,
                 m.freq_hz, m.link.capacity_bytes_per_sec, m.quantum_sec,
+                m.fixed_point_rounds, m.fixed_point_damping,
                 config.base.min_window_sec, config.base.max_window_sec,
                 config.base.enable_mba ? 1 : 0);
   return buf;
@@ -74,6 +78,12 @@ double parse_cell_double(const std::string& cell) {
     throw std::invalid_argument("bad number '" + cell + "'");
   }
   return v;
+}
+
+bool parse_cell_bool(const std::string& cell) {
+  if (cell == "1") return true;
+  if (cell == "0") return false;
+  throw std::invalid_argument("bad bool '" + cell + "'");
 }
 
 /// Load cached rows for `key`. Any defect — missing/foreign key line,
@@ -110,7 +120,7 @@ std::vector<SweepRow> load_sweep(const std::string& path,
       r.be = next();
       r.policy = next();
       r.cores = parse_cell_unsigned(next());
-      r.ct_favoured = next() == "1";
+      r.ct_favoured = parse_cell_bool(next());
       r.hp_alone = parse_cell_double(next());
       r.be_alone = parse_cell_double(next());
       r.hp_ipc = parse_cell_double(next());

@@ -54,22 +54,6 @@ std::vector<CacheRegion> decompose_regions(const std::vector<WayMask>& masks,
   return regions;
 }
 
-namespace {
-
-/// Occupancy of one app inside one region at characteristic time `t`,
-/// with its demand scaled by `fraction` (its share of rates directed at
-/// this region).
-double occupancy_at(const CacheDemand& d, double fraction, double t) noexcept {
-  double occ = d.stream_bytes_per_sec * fraction * t;
-  for (const auto& c : d.reuse) {
-    occ += std::min(c.rate_bytes_per_sec * fraction * t,
-                    c.footprint_bytes * fraction);
-  }
-  return occ;
-}
-
-}  // namespace
-
 void solve_occupancy(const std::vector<CacheRegion>& regions,
                      const std::vector<CacheDemand>& demand,
                      const OccupancySolverConfig& config,
@@ -129,38 +113,90 @@ void solve_occupancy(const std::vector<CacheRegion>& regions,
       }
       continue;
     }
+    rs.memo_valid = false;
+    rs.inputs = cur;
+    const std::size_t num_sharers = r.sharers.size();
+    // Total occupancy the region would hold at characteristic time t,
+    // reading straight from the nested demand vectors. `*` is
+    // left-associative, so stream*frac*t groups as (stream*frac)*t —
+    // bit-identical to the hoisted form used by the bisection below.
+    auto total_at_inline = [&](double t) {
+      double sum = 0.0;
+      for (std::size_t k = 0; k < num_sharers; ++k) {
+        const auto& d = demand[r.sharers[k]];
+        const double f = rs.frac[k];
+        double app_occ = d.stream_bytes_per_sec * f * t;
+        for (const auto& c : d.reuse) {
+          app_occ +=
+              std::min(c.rate_bytes_per_sec * f * t, c.footprint_bytes * f);
+        }
+        sum += app_occ;
+      }
+      return sum;
+    };
     double t_c;
-    {
+    const double t_max = config.max_characteristic_time_sec;
+    if (total_at_inline(t_max) <= r.capacity_bytes) {
+      // The region never fills: every sharer keeps its full (scaled)
+      // footprint plus its entire streaming window. One evaluation, no
+      // bisection — and no point paying for the hoisted arrays below.
+      t_c = t_max;
+    } else {
+      // Hoist the frac products out of the t-sweep: the bisection is a
+      // latency chain of ~50 sequential evaluations, and each used to
+      // re-derive rate*frac / footprint*frac from the nested demand
+      // vectors. The raw inputs are already saved in rs.inputs, so the
+      // flattening buffer is scaled in place — no extra allocation. Same
+      // operand pairs, same rounding, same summation order as the inline
+      // evaluation — byte-identical t_c and contributions.
+      auto& h = cur;
+      auto& he = scratch.flat_end;
+      std::size_t s = 0;
+      for (std::size_t k = 0; k < num_sharers; ++k) {
+        const double f = rs.frac[k];
+        h[s++] *= f;
+        const std::size_t comps = demand[r.sharers[k]].reuse.size();
+        for (std::size_t c = 0; c < comps; ++c) {
+          h[s++] *= f;
+          h[s++] *= f;
+        }
+        he[k] = s;
+      }
       auto total_at = [&](double t) {
         double sum = 0.0;
-        for (std::size_t k = 0; k < r.sharers.size(); ++k) {
-          sum += occupancy_at(demand[r.sharers[k]], rs.frac[k], t);
+        std::size_t j = 0;
+        for (std::size_t k = 0; k < num_sharers; ++k) {
+          double app_occ = h[j++] * t;
+          const std::size_t end = he[k];
+          for (; j < end; j += 2) {
+            app_occ += std::min(h[j] * t, h[j + 1]);
+          }
+          sum += app_occ;
         }
         return sum;
       };
-      const double t_max = config.max_characteristic_time_sec;
-      if (total_at(t_max) <= r.capacity_bytes) {
-        // The region never fills: every sharer keeps its full (scaled)
-        // footprint plus its entire streaming window.
-        t_c = t_max;
-      } else {
-        double lo = 0.0, hi = t_max;
-        for (unsigned i = 0; i < config.bisection_steps; ++i) {
-          const double mid = 0.5 * (lo + hi);
-          if (total_at(mid) < r.capacity_bytes) lo = mid;
-          else hi = mid;
-        }
-        t_c = 0.5 * (lo + hi);
+      double lo = 0.0, hi = t_max;
+      for (unsigned i = 0; i < config.bisection_steps; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        if (total_at(mid) < r.capacity_bytes) lo = mid;
+        else hi = mid;
       }
-      rs.t_c = t_c;
-      rs.inputs = cur;
-      rs.memo_valid = true;
+      t_c = 0.5 * (lo + hi);
     }
+    rs.t_c = t_c;
+    rs.memo_valid = true;
 
-    rs.contrib.resize(r.sharers.size());
-    for (std::size_t k = 0; k < r.sharers.size(); ++k) {
-      rs.contrib[k] = occupancy_at(demand[r.sharers[k]], rs.frac[k], t_c);
-      occ[r.sharers[k]] += rs.contrib[k];
+    rs.contrib.resize(num_sharers);
+    for (std::size_t k = 0; k < num_sharers; ++k) {
+      const auto& d = demand[r.sharers[k]];
+      const double f = rs.frac[k];
+      double app_occ = d.stream_bytes_per_sec * f * t_c;
+      for (const auto& c : d.reuse) {
+        app_occ +=
+            std::min(c.rate_bytes_per_sec * f * t_c, c.footprint_bytes * f);
+      }
+      rs.contrib[k] = app_occ;
+      occ[r.sharers[k]] += app_occ;
     }
   }
 }

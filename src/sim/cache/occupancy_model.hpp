@@ -29,6 +29,7 @@
 // to region capacity.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <vector>
 
@@ -93,7 +94,16 @@ struct OccupancyScratch {
   };
   std::vector<double> avail;        ///< per-app total eligible capacity
   std::vector<RegionState> regions; ///< parallel to the region vector
-  std::vector<double> flat;         ///< per-call flattening buffer
+  /// Per-call flattening buffer. Doubles as the bisection's hoisted-constant
+  /// store: once the raw values are saved into the region's `inputs` memo,
+  /// each entry is scaled in place by its sharer's capacity fraction so the
+  /// ~50-evaluation t-sweep walks one flat array instead of re-deriving
+  /// rate*frac / footprint*frac from the nested demand vectors every step.
+  std::vector<double> flat;
+  /// Per-sharer end offsets into `flat` for the bisection's t-sweep (a
+  /// region has at most 64 sharers — decompose_regions enforces it). Fixed
+  /// storage keeps the convenience wrapper's cold path allocation-free.
+  std::array<std::size_t, 64> flat_end{};
   bool layout_valid = false;
 
   /// Must be called whenever the region decomposition changes shape or

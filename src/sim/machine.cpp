@@ -2,12 +2,38 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <stdexcept>
+#include <string_view>
 
 #include "util/log.hpp"
 #include "util/trace.hpp"
 
 namespace dicer::sim {
+
+void SolverStats::merge(const SolverStats& other) {
+  quanta += other.quanta;
+  replays += other.replays;
+  solves += other.solves;
+  stable_solves += other.stable_solves;
+  unstable_solves += other.unstable_solves;
+  invalidations_actuator += other.invalidations_actuator;
+  invalidations_fingerprint += other.invalidations_fingerprint;
+  if (rounds_hist.size() < other.rounds_hist.size()) {
+    rounds_hist.resize(other.rounds_hist.size(), 0);
+  }
+  for (std::size_t r = 0; r < other.rounds_hist.size(); ++r) {
+    rounds_hist[r] += other.rounds_hist[r];
+  }
+}
+
+std::uint64_t SolverStats::total_rounds() const noexcept {
+  std::uint64_t total = 0;
+  for (std::size_t r = 0; r < rounds_hist.size(); ++r) {
+    total += rounds_hist[r] * (r + 1);
+  }
+  return total;
+}
 
 Machine::Machine(const MachineConfig& config)
     : config_(config),
@@ -30,6 +56,12 @@ Machine::Machine(const MachineConfig& config)
   if (config_.freq_hz <= 0.0) {
     throw std::invalid_argument("Machine: frequency must be > 0");
   }
+  if (const char* env = std::getenv("DICER_NO_SOLVER_SHORTCUTS")) {
+    if (std::string_view(env) != "" && std::string_view(env) != "0") {
+      config_.solver_shortcuts = false;
+    }
+  }
+  stats_.rounds_hist.assign(std::max(config_.fixed_point_rounds, 1u), 0);
 }
 
 void Machine::check_core(unsigned core) const {
@@ -42,6 +74,14 @@ void Machine::check_core(unsigned core) const {
 void Machine::invalidate_regions() noexcept {
   regions_valid_ = false;
   scratch_.occupancy.invalidate();
+  invalidate_solve();
+}
+
+void Machine::invalidate_solve() noexcept {
+  if (solve_cache_.armed) {
+    solve_cache_.armed = false;
+    ++stats_.invalidations_actuator;
+  }
 }
 
 void Machine::refresh_regions() {
@@ -130,7 +170,10 @@ void Machine::set_mem_throttle(unsigned core, double fraction) {
     throw std::invalid_argument(
         "Machine::set_mem_throttle: fraction outside (0, 1]");
   }
-  mem_throttle_[core] = fraction;
+  if (mem_throttle_[core] != fraction) {
+    mem_throttle_[core] = fraction;
+    invalidate_solve();
+  }
 }
 
 double Machine::mem_throttle(unsigned core) const {
@@ -157,15 +200,86 @@ void Machine::step() {
   if (s.active.empty()) return;
 
   const std::size_t n = s.active.size();
+  ++stats_.quanta;
+
+  // Current phase per active core — both the replay fingerprint and the
+  // solve key off it. (An app that completed and restarted into the same
+  // phase is the same solver input: the solve depends on the phase, not on
+  // the position within it.)
+  s.phase.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    s.phase.push_back(&apps_[s.active[i]]->current_phase());
+  }
+
+  bool replayed = false;
+  if (solve_cache_.armed) {
+    if (s.active == solve_cache_.active && s.phase == solve_cache_.phase) {
+      // Identical inputs, and the previous solve ended on a round that
+      // reproduced every IPS bit-exactly: re-running the fixed point would
+      // retrace that round and change nothing, so the scratch state
+      // (ips/occ/arbitration) and last_rho_/last_traffic_ already hold this
+      // quantum's exact solution. Only progress and telemetry move.
+      replayed = true;
+      ++stats_.replays;
+    } else {
+      solve_cache_.armed = false;
+      ++stats_.invalidations_fingerprint;
+    }
+  }
+
+  if (!replayed) {
+    const bool stable = solve_quantum();
+    last_rho_ = s.arb.raw_utilisation;
+    last_traffic_ = s.arb.total_achieved_bytes_per_sec;
+    if (stable && config_.solver_shortcuts) {
+      solve_cache_.armed = true;
+      solve_cache_.active = s.active;
+      solve_cache_.phase = s.phase;
+    }
+  }
+
+  // Commit the quantum.
+  for (std::size_t i = 0; i < n; ++i) {
+    const unsigned core = s.active[i];
+    auto& tel = telemetry_[core];
+    const double instructions = s.ips[i] * dt;
+    const unsigned completed = apps_[core]->advance(instructions);
+    tel.instructions += instructions;
+    tel.active_cycles += freq * dt;
+    tel.mem_bytes += s.arb.achieved_bytes_per_sec[i] * dt;
+    tel.occupancy_bytes = s.occ[i];
+    tel.completions += completed;
+    tel.last_quantum_ipc = s.ips[i] / freq;
+    ips_seed_[core] = s.ips[i];
+  }
+
+  auto& tr = trace::resolve(config_.tracer);
+  if (tr.enabled(trace::Kind::kQuantum)) {
+    std::vector<trace::Field> fields;
+    fields.reserve(2 + 2 * n);
+    fields.emplace_back("rho", last_rho_);
+    fields.emplace_back("traffic_bps", last_traffic_);
+    for (std::size_t i = 0; i < n; ++i) {
+      const unsigned core = s.active[i];
+      fields.emplace_back("ipc_c" + std::to_string(core),
+                          telemetry_[core].last_quantum_ipc);
+      fields.emplace_back("occ_c" + std::to_string(core), s.occ[i]);
+    }
+    tr.emit(trace::Kind::kQuantum, time_sec_, std::move(fields));
+  }
+}
+
+bool Machine::solve_quantum() {
+  auto& s = scratch_;
+  const std::size_t n = s.active.size();
+  const double freq = config_.freq_hz;
   refresh_regions();
 
-  s.phase.clear();
   s.pc.clear();
   s.ips.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
     const unsigned core = s.active[i];
-    const AppPhase* ph = &apps_[core]->current_phase();
-    s.phase.push_back(ph);
+    const AppPhase* ph = s.phase[i];
     auto& pc = phase_const_[core];
     if (pc.phase != ph) {
       pc.phase = ph;
@@ -201,6 +315,8 @@ void Machine::step() {
   s.cache_demand.resize(n);
   const double line = config_.llc.line_bytes;
 
+  unsigned rounds_used = 0;
+  bool stable = false;
   for (unsigned round = 0; round < config_.fixed_point_rounds; ++round) {
     // 1. Occupancy under current IPS estimates (Che working-set model).
     //    Each MRC component becomes a reuse component whose touch rate is
@@ -251,6 +367,7 @@ void Machine::step() {
              std::sqrt(std::min(
                  total_accesses / config_.uncore_access_ref_per_sec, 1.0)));
     double worst_rel = 0.0;
+    bool round_stable = true;
     for (std::size_t i = 0; i < n; ++i) {
       const AppPhase& ph = *s.phase[i];
       const PhaseConst& pc = *s.pc[i];
@@ -274,46 +391,35 @@ void Machine::step() {
       const double next =
           config_.fixed_point_damping * target +
           (1.0 - config_.fixed_point_damping) * s.ips[i];
+      if (next != s.ips[i]) round_stable = false;
       worst_rel = std::max(worst_rel, std::fabs(next - s.ips[i]) /
                                           std::max(s.ips[i], 1.0));
       s.ips[i] = next;
     }
-    if (worst_rel < 1e-4) break;
-  }
-
-  last_rho_ = s.arb.raw_utilisation;
-  last_traffic_ = 0.0;
-  for (double a : s.arb.achieved_bytes_per_sec) last_traffic_ += a;
-
-  // Commit the quantum.
-  for (std::size_t i = 0; i < n; ++i) {
-    const unsigned core = s.active[i];
-    auto& tel = telemetry_[core];
-    const double instructions = s.ips[i] * dt;
-    const unsigned completed = apps_[core]->advance(instructions);
-    tel.instructions += instructions;
-    tel.active_cycles += freq * dt;
-    tel.mem_bytes += s.arb.achieved_bytes_per_sec[i] * dt;
-    tel.occupancy_bytes = s.occ[i];
-    tel.completions += completed;
-    tel.last_quantum_ipc = s.ips[i] / freq;
-    ips_seed_[core] = s.ips[i];
-  }
-
-  auto& tr = trace::resolve(config_.tracer);
-  if (tr.enabled(trace::Kind::kQuantum)) {
-    std::vector<trace::Field> fields;
-    fields.reserve(2 + 2 * n);
-    fields.emplace_back("rho", last_rho_);
-    fields.emplace_back("traffic_bps", last_traffic_);
-    for (std::size_t i = 0; i < n; ++i) {
-      const unsigned core = s.active[i];
-      fields.emplace_back("ipc_c" + std::to_string(core),
-                          telemetry_[core].last_quantum_ipc);
-      fields.emplace_back("occ_c" + std::to_string(core), s.occ[i]);
+    ++rounds_used;
+    if (worst_rel < 1e-4) {
+      // The damped update is idempotent once a round reproduces every IPS
+      // bit-exactly (round_stable, i.e. worst_rel == 0): the remaining
+      // rounds are provably no-ops. The looser tolerance break subsumes
+      // that exit, so this preserves the exact historical exit round;
+      // round_stable's job is to license cross-quantum replay.
+      stable = round_stable;
+      break;
     }
-    tr.emit(trace::Kind::kQuantum, time_sec_, std::move(fields));
   }
+
+  ++stats_.solves;
+  if (rounds_used > 0) {
+    const std::size_t slot =
+        std::min<std::size_t>(rounds_used, stats_.rounds_hist.size()) - 1;
+    ++stats_.rounds_hist[slot];
+  }
+  if (stable) {
+    ++stats_.stable_solves;
+  } else {
+    ++stats_.unstable_solves;
+  }
+  return stable;
 }
 
 void Machine::run_for(double seconds) {

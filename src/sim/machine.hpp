@@ -42,6 +42,15 @@ namespace dicer::sim {
 
 struct MachineConfig {
   unsigned num_cores = 10;
+  /// Convergence shortcuts for the quantum solve: once a fixed-point round
+  /// reproduces every per-core IPS bit-exactly, the solve is at a
+  /// floating-point fixed point, and a later quantum whose inputs
+  /// (active set, per-core phase, fill masks, MBA throttles) are unchanged
+  /// replays the cached solution instead of re-running the rounds. Results
+  /// are byte-identical either way — the flag (and the
+  /// DICER_NO_SOLVER_SHORTCUTS env override, any value but "" or "0")
+  /// exists so equivalence tests can pit the two paths against each other.
+  bool solver_shortcuts = true;
   double freq_hz = 2.2e9;
   CacheGeometry llc{};                   ///< 25 MB, 20-way, 64 B lines
   MemoryLinkConfig link{};               ///< 68.3 Gbps
@@ -79,6 +88,27 @@ struct MachineConfig {
   double way_bytes() const noexcept {
     return static_cast<double>(llc.way_bytes());
   }
+};
+
+/// Counters for the convergence-aware quantum solve. `quanta` splits into
+/// `replays` (served from the steady-state cache) and `solves` (ran the
+/// fixed point); solves split into bit-stable and unstable exits; the
+/// histogram records how many rounds each solve used. Invalidation causes
+/// count only drops of an *armed* replay cache, by who dropped it.
+struct SolverStats {
+  std::uint64_t quanta = 0;   ///< step() calls with >= 1 active core
+  std::uint64_t replays = 0;  ///< quanta replayed without solving
+  std::uint64_t solves = 0;   ///< quanta that ran the fixed point
+  std::uint64_t stable_solves = 0;    ///< last round reproduced IPS bit-exactly
+  std::uint64_t unstable_solves = 0;  ///< exited above bit-stability
+  std::uint64_t invalidations_actuator = 0;    ///< attach/detach/mask/throttle
+  std::uint64_t invalidations_fingerprint = 0; ///< phase / active-set drift
+  std::vector<std::uint64_t> rounds_hist;  ///< rounds used per solve, at r-1
+
+  /// Accumulate `other` into this (histograms are size-matched by growth).
+  void merge(const SolverStats& other);
+  /// Sum of rounds over all solves (the histogram's first moment).
+  std::uint64_t total_rounds() const noexcept;
 };
 
 /// Cumulative per-core counters, in hardware-counter style: monitors take
@@ -143,6 +173,9 @@ class Machine {
   /// assert the cache tracks every actuator path.
   const std::vector<CacheRegion>& current_regions();
 
+  /// Convergence/replay counters since construction (never reset).
+  const SolverStats& solver_stats() const noexcept { return stats_; }
+
  private:
   /// Per-phase constants hoisted out of the fixed-point rounds: they only
   /// change when the app on the core enters a new phase (or the core is
@@ -177,9 +210,27 @@ class Machine {
     OccupancyScratch occupancy;
   };
 
+  /// Fingerprint of the inputs behind the last bit-stable solve. While
+  /// armed, a quantum whose active-core list and per-core phase pointers
+  /// match replays the scratch state (ips/occ/arbitration) verbatim —
+  /// exact, because a bit-stable solve is a floating-point fixed point and
+  /// re-running it on the same inputs reproduces every bit. Masks and MBA
+  /// throttles need no per-step compare: their actuators disarm the cache
+  /// on any real change.
+  struct SolveCache {
+    bool armed = false;
+    std::vector<unsigned> active;
+    std::vector<const AppPhase*> phase;
+  };
+
   void check_core(unsigned core) const;
   void refresh_regions();
   void invalidate_regions() noexcept;
+  void invalidate_solve() noexcept;
+  /// Run the fixed point for the current quantum (scratch holds the
+  /// result); returns true iff the final round reproduced every IPS
+  /// bit-exactly.
+  bool solve_quantum();
 
   MachineConfig config_;
   double time_sec_ = 0.0;
@@ -195,6 +246,8 @@ class Machine {
   std::vector<CacheRegion> regions_;     ///< cached decomposition
   bool regions_valid_ = false;
   StepScratch scratch_;
+  SolveCache solve_cache_;
+  SolverStats stats_;
 };
 
 }  // namespace dicer::sim

@@ -49,8 +49,11 @@ void MemoryLink::arbitrate_into(std::span<const double> demand_bytes_per_sec,
   out.effective_latency_cycles = latency_at(out.raw_utilisation);
   out.achieved_bytes_per_sec.clear();
   out.achieved_bytes_per_sec.reserve(demand_bytes_per_sec.size());
+  out.total_achieved_bytes_per_sec = 0.0;
   for (double d : demand_bytes_per_sec) {
-    out.achieved_bytes_per_sec.push_back(d * out.throttle);
+    const double achieved = d * out.throttle;
+    out.achieved_bytes_per_sec.push_back(achieved);
+    out.total_achieved_bytes_per_sec += achieved;
   }
 }
 

@@ -47,6 +47,9 @@ struct LinkArbitration {
   double effective_latency_cycles = 0.0; ///< shared by all requesters
   double throttle = 1.0;                 ///< achieved/demanded, in (0, 1]
   std::vector<double> achieved_bytes_per_sec;  ///< per requester
+  /// Sum of achieved_bytes_per_sec, accumulated in requester order while
+  /// arbitrating (bit-identical to the caller summing the vector itself).
+  double total_achieved_bytes_per_sec = 0.0;
 };
 
 class MemoryLink {

@@ -24,27 +24,59 @@ void TimerRegistry::record(const std::string& label, double ms) {
   s.total_ms += ms;
 }
 
+void TimerRegistry::add_count(const std::string& label, std::uint64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_[label] += n;
+}
+
 std::vector<std::pair<std::string, TimerStat>> TimerRegistry::snapshot()
     const {
   std::lock_guard<std::mutex> lock(mu_);
   return {stats_.begin(), stats_.end()};
 }
 
+std::vector<std::pair<std::string, std::uint64_t>> TimerRegistry::counters()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {counters_.begin(), counters_.end()};
+}
+
 void TimerRegistry::reset() {
   std::lock_guard<std::mutex> lock(mu_);
   stats_.clear();
+  counters_.clear();
 }
 
 std::string TimerRegistry::format() const {
   const auto stats = snapshot();
-  if (stats.empty()) return "";
+  const auto counts = counters();
+  if (stats.empty() && counts.empty()) return "";
+  std::string out;
+  if (!counts.empty()) {
+    std::size_t cwidth = 7;
+    for (const auto& [label, _] : counts) {
+      cwidth = std::max(cwidth, label.size());
+    }
+    char cbuf[192];
+    std::snprintf(cbuf, sizeof cbuf, "%-*s %16s\n",
+                  static_cast<int>(cwidth), "counter", "count");
+    out += cbuf;
+    for (const auto& [label, n] : counts) {
+      std::snprintf(cbuf, sizeof cbuf, "%-*s %16llu\n",
+                    static_cast<int>(cwidth), label.c_str(),
+                    static_cast<unsigned long long>(n));
+      out += cbuf;
+    }
+  }
+  if (stats.empty()) return out;
+  if (!out.empty()) out += "\n";
   std::size_t width = 5;
   for (const auto& [label, _] : stats) width = std::max(width, label.size());
   char buf[192];
   std::snprintf(buf, sizeof buf, "%-*s %8s %12s %12s %12s %12s\n",
                 static_cast<int>(width), "timer", "count", "total ms",
                 "mean ms", "min ms", "max ms");
-  std::string out = buf;
+  out += buf;
   for (const auto& [label, s] : stats) {
     std::snprintf(buf, sizeof buf,
                   "%-*s %8llu %12.3f %12.3f %12.3f %12.3f\n",

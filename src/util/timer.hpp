@@ -40,9 +40,15 @@ class TimerRegistry {
   static TimerRegistry& global();
 
   void record(const std::string& label, double ms);
+  /// Event counter (occurrence tallies with no duration — solver replay
+  /// hits, fixed-point rounds, cache invalidations). Counters live in
+  /// their own namespace and print as a separate block in format().
+  void add_count(const std::string& label, std::uint64_t n);
   /// All stats, sorted by label (a snapshot — safe to use while others
   /// keep recording).
   std::vector<std::pair<std::string, TimerStat>> snapshot() const;
+  /// All counters, sorted by label.
+  std::vector<std::pair<std::string, std::uint64_t>> counters() const;
   void reset();
   /// Human-readable profile table ("" when nothing was recorded).
   std::string format() const;
@@ -50,6 +56,7 @@ class TimerRegistry {
  private:
   mutable std::mutex mu_;
   std::map<std::string, TimerStat> stats_;
+  std::map<std::string, std::uint64_t> counters_;
 };
 
 class ScopedTimer {

@@ -392,5 +392,100 @@ TEST(PolicySweep, CtFavouredFlagPropagated) {
   for (const auto& r : rows) EXPECT_TRUE(r.ct_favoured);
 }
 
+TEST(PolicySweep, KeyInvalidatedBySolverKnobs) {
+  // Regression: the v5 key omitted fixed_point_rounds/fixed_point_damping,
+  // so changing either solver knob silently served rows computed with the
+  // old convergence behaviour.
+  const std::string path = ::testing::TempDir() + "/sweep_key_solver.csv";
+  std::remove(path.c_str());
+  const std::vector<BaselineEntry> sample = {
+      sample_entry("milc1", "gcc_base3")};
+  auto cfg = small_config();
+  policy_sweep(sim::default_catalog(), sample, cfg, path);
+  tamper_hp_names(path);
+
+  // Control: unchanged config hits the (tampered) cache.
+  const auto hit = policy_sweep(sim::default_catalog(), sample, cfg, path);
+  ASSERT_FALSE(hit.empty());
+  EXPECT_EQ(hit[0].hp, "tampered");
+
+  auto more_rounds = cfg;
+  more_rounds.base.machine.fixed_point_rounds =
+      cfg.base.machine.fixed_point_rounds + 4;
+  const auto miss1 =
+      policy_sweep(sim::default_catalog(), sample, more_rounds, path);
+  ASSERT_FALSE(miss1.empty());
+  EXPECT_EQ(miss1[0].hp, "milc1")
+      << "stale cache reused across fixed_point_rounds change";
+
+  tamper_hp_names(path);
+  auto stiffer = more_rounds;
+  stiffer.base.machine.fixed_point_damping =
+      cfg.base.machine.fixed_point_damping * 0.5;
+  const auto miss2 =
+      policy_sweep(sim::default_catalog(), sample, stiffer, path);
+  ASSERT_FALSE(miss2.empty());
+  EXPECT_EQ(miss2[0].hp, "milc1")
+      << "stale cache reused across fixed_point_damping change";
+  std::remove(path.c_str());
+}
+
+TEST(PolicySweep, CorruptBoolCellFallsBackToRecompute) {
+  // Regression: the loader used to parse ctf with `cell == "1"`, so a
+  // garbage cell ("2", "x") silently became false instead of rejecting
+  // the cache.
+  const std::string path = ::testing::TempDir() + "/sweep_corrupt_bool.csv";
+  std::remove(path.c_str());
+  const std::vector<BaselineEntry> sample = {
+      sample_entry("milc1", "gcc_base3")};
+  const auto cfg = small_config();
+  const auto rows = policy_sweep(sim::default_catalog(), sample, cfg, path);
+
+  for (const char* garbage : {"2", "x"}) {
+    auto lines = read_lines(path);
+    ASSERT_GT(lines.size(), 2u);
+    // Replace the ctf cell (5th column) of the first data row.
+    std::size_t pos = 0;
+    for (int commas = 0; commas < 4; ++commas) {
+      pos = lines[2].find(',', pos) + 1;
+    }
+    const std::size_t end = lines[2].find(',', pos);
+    lines[2].replace(pos, end - pos, garbage);
+    write_lines(path, lines);
+
+    const auto again = policy_sweep(sim::default_catalog(), sample, cfg, path);
+    expect_rows_identical(again, rows);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(PolicySweep, CacheFileByteIdenticalAcrossSolverShortcuts) {
+  // The solver shortcuts (steady-state replay + bit-stable early exit) are
+  // byte-identical by construction, so they are excluded from the cache
+  // key, and a sweep with them disabled must produce the exact same cache
+  // file — any divergence means the replay path changed results.
+  const std::string on_path =
+      ::testing::TempDir() + "/sweep_shortcuts_on.csv";
+  const std::string off_path =
+      ::testing::TempDir() + "/sweep_shortcuts_off.csv";
+  std::remove(on_path.c_str());
+  std::remove(off_path.c_str());
+  const std::vector<BaselineEntry> sample = {
+      sample_entry("milc1", "gcc_base3"), sample_entry("namd1", "bzip22")};
+  auto on_cfg = small_config();
+  on_cfg.policies = {"UM", "CT", "DICER"};
+  auto off_cfg = on_cfg;
+  off_cfg.base.machine.solver_shortcuts = false;
+  off_cfg.jobs = 4;  // and at a different worker count, for good measure
+  policy_sweep(sim::default_catalog(), sample, on_cfg, on_path);
+  policy_sweep(sim::default_catalog(), sample, off_cfg, off_path);
+  const auto on_lines = read_lines(on_path);
+  const auto off_lines = read_lines(off_path);
+  ASSERT_GT(on_lines.size(), 2u);
+  EXPECT_EQ(on_lines, off_lines);
+  std::remove(on_path.c_str());
+  std::remove(off_path.c_str());
+}
+
 }  // namespace
 }  // namespace dicer::harness

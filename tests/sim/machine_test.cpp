@@ -252,5 +252,42 @@ TEST_P(MachineCoreCount, MoreNeighboursNeverHelp) {
 INSTANTIATE_TEST_SUITE_P(Cores, MachineCoreCount,
                          ::testing::Values(2u, 4u, 6u, 9u));
 
+TEST(Machine, SolverStatsAccountForEveryQuantum) {
+  Machine m{MachineConfig{}};
+  m.attach(0, &app("milc1"));
+  m.attach(1, &app("gcc_base3"));
+  m.run_for(5.0);
+  const auto& s = m.solver_stats();
+  EXPECT_EQ(s.quanta, 500u);
+  EXPECT_EQ(s.replays + s.solves, s.quanta);
+  EXPECT_EQ(s.stable_solves + s.unstable_solves, s.solves);
+  EXPECT_GT(s.replays, 0u) << "a 5 s settle must reach steady-state replay";
+  std::uint64_t hist_sum = 0;
+  for (auto h : s.rounds_hist) hist_sum += h;
+  EXPECT_EQ(hist_sum, s.solves);
+  EXPECT_GE(s.total_rounds(), s.solves);
+
+  // Actuator changes must drop an armed replay cache (and count as such).
+  const auto inv_before = s.invalidations_actuator;
+  m.set_fill_mask(0, WayMask::low(10));
+  m.run_for(1.0);
+  EXPECT_GT(m.solver_stats().invalidations_actuator, inv_before);
+}
+
+TEST(Machine, SolverStatsMergeAccumulates) {
+  SolverStats a, b;
+  a.quanta = 10;
+  a.rounds_hist = {4, 3};
+  b.quanta = 5;
+  b.rounds_hist = {1, 1, 1};
+  a.merge(b);
+  EXPECT_EQ(a.quanta, 15u);
+  ASSERT_EQ(a.rounds_hist.size(), 3u);
+  EXPECT_EQ(a.rounds_hist[0], 5u);
+  EXPECT_EQ(a.rounds_hist[1], 4u);
+  EXPECT_EQ(a.rounds_hist[2], 1u);
+  EXPECT_EQ(a.total_rounds(), 5u * 1 + 4u * 2 + 1u * 3);
+}
+
 }  // namespace
 }  // namespace dicer::sim

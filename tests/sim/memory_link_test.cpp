@@ -89,6 +89,20 @@ TEST(MemoryLink, ArbitrationEmptyDemand) {
   const auto arb = link.arbitrate(std::vector<double>{});
   EXPECT_DOUBLE_EQ(arb.utilisation, 0.0);
   EXPECT_TRUE(arb.achieved_bytes_per_sec.empty());
+  EXPECT_DOUBLE_EQ(arb.total_achieved_bytes_per_sec, 0.0);
+}
+
+TEST(MemoryLink, TotalAchievedMatchesOrderedSum) {
+  // The machine's telemetry uses the pre-accumulated total; it must equal
+  // the per-requester vector summed in requester order, bit for bit.
+  MemoryLinkConfig c;
+  c.capacity_bytes_per_sec = 10e9;
+  MemoryLink link(c);
+  const std::vector<double> demand = {7.3e9, 1.1e9, 5.77e9, 0.0, 2.9e9};
+  const auto arb = link.arbitrate(demand);
+  double sum = 0.0;
+  for (double a : arb.achieved_bytes_per_sec) sum += a;
+  EXPECT_EQ(arb.total_achieved_bytes_per_sec, sum);
 }
 
 TEST(MemoryLink, NegativeDemandThrows) {
