@@ -3,6 +3,15 @@
 // HP QoS and effective system utilisation.
 //
 //   ./quickstart [--hp milc1] [--be gcc_base3] [--cores 10]
+//                [--trace-apps] [--profile-cache PATH] [--profile]
+//
+// --trace-apps augments the catalog with the trace-derived apps
+// (trace_stream1, trace_wset1, trace_bimodal1, trace_mix1): each is
+// profiled from its address stream with the single-pass sampled MRC
+// profiler, so they are usable as --hp/--be like any analytic app.
+// --profile-cache persists the profiled curves across runs; --profile
+// prints the scoped-timer/counter table (incl. the profiler.* group)
+// to stderr on exit.
 #include <cstdio>
 #include <iostream>
 
@@ -11,8 +20,10 @@
 #include "metrics/metrics.hpp"
 #include "policy/factory.hpp"
 #include "sim/core/catalog.hpp"
+#include "sim/core/trace_apps.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
+#include "util/timer.hpp"
 
 int main(int argc, char** argv) {
   using namespace dicer;
@@ -22,7 +33,11 @@ int main(int argc, char** argv) {
   const std::string be_name = args.get_or("be", "gcc_base3");
   const auto cores = static_cast<unsigned>(args.get_int("cores", 10));
 
-  const auto& catalog = sim::default_catalog();
+  const bool trace_apps = args.has("trace-apps");
+  const sim::AppCatalog catalog =
+      trace_apps
+          ? sim::trace_augmented_catalog(args.get_or("profile-cache", ""))
+          : sim::default_catalog();
   const auto& hp = catalog.by_name(hp_name);
   const auto& be = catalog.by_name(be_name);
 
@@ -58,5 +73,9 @@ int main(int argc, char** argv) {
                   3);
   }
   table.print();
+  if (args.get_bool("profile", false)) {
+    const std::string timers = trace::TimerRegistry::global().format();
+    if (!timers.empty()) std::cerr << "\n" << timers;
+  }
   return 0;
 }

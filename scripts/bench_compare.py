@@ -25,13 +25,17 @@ import argparse
 import json
 import sys
 
-# Steady-state machine-step benches guarded against regression. Keep in
-# sync with bench/micro_sim.cpp and the README perf table.
+# Steady-state machine-step and MRC-profiler benches guarded against
+# regression. Keep in sync with bench/micro_sim.cpp and the README perf
+# table.
 DEFAULT_BENCHES = [
     "BM_MachineStepSteadyState",
     "BM_MachineStep10Apps",
     "BM_MachineStepPartitioned",
     "BM_MachineRunPeriod",
+    "BM_ProfileMrcExact",
+    "BM_ProfileMrcSinglePass",
+    "BM_ProfileMrcSampled",
 ]
 
 _UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}

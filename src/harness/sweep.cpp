@@ -214,16 +214,7 @@ SweepRow run_cell(const sim::AppCatalog& catalog, const SweepCell& cell,
 }  // namespace
 
 unsigned resolve_sweep_jobs(unsigned requested) {
-  if (requested != 0) return requested;
-  if (const char* env = std::getenv("DICER_SWEEP_JOBS")) {
-    char* end = nullptr;
-    const unsigned long v = std::strtoul(env, &end, 10);
-    if (end && *end == '\0' && v >= 1 && v <= 4096) {
-      return static_cast<unsigned>(v);
-    }
-    DICER_WARN << "ignoring invalid DICER_SWEEP_JOBS='" << env << "'";
-  }
-  return util::ThreadPool::hardware_workers();
+  return util::ThreadPool::resolve_jobs(requested, "DICER_SWEEP_JOBS");
 }
 
 std::vector<SweepRow> policy_sweep(const sim::AppCatalog& catalog,

@@ -1,7 +1,22 @@
-// MRC profiler: measures an empirical miss-ratio curve by replaying an
-// address stream through the trace-driven cache at every way count.
-// Used by validation tests and the micro benches to cross-check the
-// analytic hill-curve MRCs against true LRU behaviour.
+// MRC profiler: measures an empirical miss-ratio curve for an address
+// stream, one point per way count from 1..geometry.ways.
+//
+// Three modes:
+//  * kSinglePass (default) — the set-aware reuse-distance profiler
+//    (`ReuseProfiler`): ONE pass over the stream yields every way count at
+//    once, byte-identical to the exact replay oracle.
+//  * kSampled — single pass plus SHARDS set sampling (`config.sampling`),
+//    trading a bounded miss-ratio error (validated at <= 0.02) for only
+//    profiling a hash fraction of the sets.
+//  * kExactReplay — the original oracle: replay the stream through the
+//    trace-driven `SetAssocCache` once per way count. Kept as ground
+//    truth; the replays are independent, so they run in parallel on a
+//    `util::ThreadPool` with byte-identical output at any worker count.
+//
+// All modes time themselves into trace::TimerRegistry::global()
+// ("mrc.profile.*") and tally a "profiler.*" counter group (accesses,
+// sampled accesses, distinct blocks, sample rate) surfaced by the bench
+// harness under --profile.
 #pragma once
 
 #include <cstdint>
@@ -10,19 +25,32 @@
 
 #include "sim/cache/address_stream.hpp"
 #include "sim/cache/mrc.hpp"
+#include "sim/cache/reuse_profiler.hpp"
 #include "sim/cache/set_assoc_cache.hpp"
 
 namespace dicer::sim {
 
-struct MrcProfilerConfig {
-  CacheGeometry geometry{};
-  std::uint64_t warmup_accesses = 200'000;   ///< discarded per way count
-  std::uint64_t measure_accesses = 400'000;  ///< counted per way count
+enum class MrcProfilerMode {
+  kExactReplay,  ///< per-way replay oracle (parallel, byte-identical)
+  kSinglePass,   ///< one-pass reuse-distance profile, exact
+  kSampled,      ///< one-pass with SHARDS set sampling
 };
 
-/// Profile `make_stream` (a factory so each way count replays a fresh,
-/// identically-seeded stream) into an empirical MRC with one point per way
-/// count from 1..geometry.ways.
+struct MrcProfilerConfig {
+  CacheGeometry geometry{};
+  std::uint64_t warmup_accesses = 200'000;   ///< discarded (state only)
+  std::uint64_t measure_accesses = 400'000;  ///< counted
+  MrcProfilerMode mode = MrcProfilerMode::kSinglePass;
+  /// kExactReplay worker threads; 0 = $DICER_SWEEP_JOBS, then hardware
+  /// concurrency. Output is byte-identical whatever the value.
+  unsigned jobs = 0;
+  /// kSampled sampling plan (ignored by the other modes).
+  ShardsConfig sampling{.mode = ShardsMode::kFixedRate, .rate = 0.125};
+};
+
+/// Profile `make_stream` (a factory so each replay gets a fresh,
+/// identically-seeded stream; the one-pass modes call it exactly once)
+/// into an empirical MRC with one point per way count 1..geometry.ways.
 EmpiricalMrc profile_mrc(
     const MrcProfilerConfig& config,
     const std::function<std::unique_ptr<AddressStream>()>& make_stream);

@@ -20,6 +20,7 @@ SetAssocCache::SetAssocCache(const CacheGeometry& geometry,
         "SetAssocCache: set count must be a power of two > 0");
   }
   set_mask_ = sets - 1;
+  set_bits_ = static_cast<unsigned>(std::popcount(set_mask_));
   line_shift_ = static_cast<unsigned>(std::countr_zero(geom_.line_bytes));
   lines_.resize(sets * geom_.ways);
   stats_.resize(num_owners);
@@ -35,13 +36,20 @@ AccessResult SetAssocCache::access(std::uint64_t address, std::uint16_t owner,
   }
   const std::uint64_t block = address >> line_shift_;
   const std::uint64_t set = block & set_mask_;
-  const std::uint64_t tag = block >> std::popcount(set_mask_);
+  const std::uint64_t tag = block >> set_bits_;
 
   auto& st = stats_[owner];
   ++st.accesses;
   ++stamp_;
 
-  // Lookup across *all* ways: CAT restricts fills, not hits.
+  // One combined pass over the set: the lookup spans *all* ways (CAT
+  // restricts fills, not hits) while the victim candidate is tracked among
+  // the allowed ways as we go. An invalid allowed way wins outright (and
+  // freezes the victim, matching the old scan's early break); otherwise the
+  // first way with the oldest stamp does.
+  unsigned victim = kMaxWays;
+  std::uint64_t oldest = ~0ull;
+  bool victim_invalid = false;
   for (unsigned w = 0; w < geom_.ways; ++w) {
     Line& ln = line_at(set, w);
     if (ln.valid && ln.tag == tag) {
@@ -55,27 +63,17 @@ AccessResult SetAssocCache::access(std::uint64_t address, std::uint16_t owner,
       }
       return {.hit = true, .evicted = false, .victim_owner = 0};
     }
-  }
-
-  ++st.misses;
-
-  // Miss: fill into the LRU way among the allowed ones. Prefer an invalid
-  // allowed way.
-  unsigned victim = kMaxWays;
-  std::uint64_t oldest = ~0ull;
-  for (unsigned w = 0; w < geom_.ways; ++w) {
-    if (!alloc_mask.test(w)) continue;
-    Line& ln = line_at(set, w);
+    if (victim_invalid || !alloc_mask.test(w)) continue;
     if (!ln.valid) {
       victim = w;
-      oldest = 0;
-      break;
-    }
-    if (ln.lru < oldest) {
+      victim_invalid = true;
+    } else if (ln.lru < oldest) {
       oldest = ln.lru;
       victim = w;
     }
   }
+
+  ++st.misses;
   if (victim == kMaxWays) {
     // alloc_mask had no bit below geom_.ways.
     throw std::invalid_argument(

@@ -100,6 +100,7 @@ class SetAssocCache {
 
   CacheGeometry geom_;
   std::uint64_t set_mask_ = 0;
+  unsigned set_bits_ = 0;  ///< popcount(set_mask_), hoisted out of access()
   unsigned line_shift_ = 0;
   std::uint64_t stamp_ = 0;
   std::uint64_t valid_lines_ = 0;

@@ -469,6 +469,17 @@ AppCatalog::AppCatalog(std::uint64_t seed) {
   }
 }
 
+void AppCatalog::add(AppProfile profile) {
+  if (profile.name.empty() || profile.phases.empty()) {
+    throw std::invalid_argument("AppCatalog::add: empty profile");
+  }
+  if (contains(profile.name)) {
+    throw std::invalid_argument("AppCatalog::add: duplicate workload name " +
+                                profile.name);
+  }
+  profiles_.push_back(std::move(profile));
+}
+
 const AppProfile& AppCatalog::by_name(const std::string& name) const {
   for (const auto& p : profiles_) {
     if (p.name == name) return p;

@@ -37,6 +37,11 @@ class AppCatalog {
   /// deterministic per-input jitter (default matches the shipped figures).
   explicit AppCatalog(std::uint64_t seed = 7);
 
+  /// Append an extra workload (e.g. a trace-derived app profiled by the
+  /// reuse profiler, see sim/core/trace_apps.hpp). Throws
+  /// std::invalid_argument on a duplicate name or an empty profile.
+  void add(AppProfile profile);
+
   std::size_t size() const noexcept { return profiles_.size(); }
   const std::vector<AppProfile>& profiles() const noexcept {
     return profiles_;

@@ -1,7 +1,10 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <exception>
+
+#include "util/log.hpp"
 
 namespace dicer::util {
 
@@ -25,6 +28,21 @@ ThreadPool::~ThreadPool() {
 unsigned ThreadPool::hardware_workers() noexcept {
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : hw;
+}
+
+unsigned ThreadPool::resolve_jobs(unsigned requested, const char* env_var) {
+  if (requested != 0) return requested;
+  if (env_var != nullptr) {
+    if (const char* env = std::getenv(env_var)) {
+      char* end = nullptr;
+      const unsigned long v = std::strtoul(env, &end, 10);
+      if (end && *end == '\0' && v >= 1 && v <= 4096) {
+        return static_cast<unsigned>(v);
+      }
+      DICER_WARN << "ignoring invalid " << env_var << "='" << env << "'";
+    }
+  }
+  return hardware_workers();
 }
 
 void ThreadPool::enqueue(std::function<void()> job) {

@@ -48,6 +48,13 @@ class ThreadPool {
   /// std::thread::hardware_concurrency(), never 0.
   static unsigned hardware_workers() noexcept;
 
+  /// Resolve a requested worker count: non-zero requests win; 0 consults
+  /// the environment variable `env_var` (when non-null; accepted range
+  /// 1..4096, anything else logged and ignored), then falls back to
+  /// hardware concurrency. The result is always >= 1.
+  static unsigned resolve_jobs(unsigned requested,
+                               const char* env_var = nullptr);
+
  private:
   void enqueue(std::function<void()> job);
   void worker_loop();

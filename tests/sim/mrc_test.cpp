@@ -165,5 +165,47 @@ TEST(EmpiricalMrc, MonotonicityViolationMeasured) {
   EXPECT_NEAR(bad.monotonicity_violation(), 0.2, 1e-12);
 }
 
+TEST(EmpiricalMrc, SinglePointIsConstantEverywhere) {
+  EmpiricalMrc mrc({{10.0, 0.4}});
+  EXPECT_EQ(mrc.size(), 1u);
+  EXPECT_DOUBLE_EQ(mrc.at(0.0), 0.4);
+  EXPECT_DOUBLE_EQ(mrc.at(10.0), 0.4);
+  EXPECT_DOUBLE_EQ(mrc.at(1e18), 0.4);
+  EXPECT_DOUBLE_EQ(mrc.monotonicity_violation(), 0.0);
+}
+
+TEST(EmpiricalMrc, DuplicateXValuesDoNotDivideByZero) {
+  // A vertical step: duplicate x is legal (sorted, not strictly), and
+  // queries at the shared x must return a finite value from the step, not
+  // a 0/0 interpolation.
+  EmpiricalMrc mrc({{0.0, 1.0}, {10.0, 0.8}, {10.0, 0.4}, {20.0, 0.2}});
+  const double at_step = mrc.at(10.0);
+  EXPECT_TRUE(std::isfinite(at_step));
+  EXPECT_GE(at_step, 0.4);
+  EXPECT_LE(at_step, 0.8);
+  // Either side of the step interpolates against the matching endpoint.
+  EXPECT_DOUBLE_EQ(mrc.at(5.0), 0.9);
+  EXPECT_DOUBLE_EQ(mrc.at(15.0), 0.3);
+}
+
+TEST(EmpiricalMrc, QueriesBeyondTheTableClampNotExtrapolate) {
+  EmpiricalMrc mrc({{10.0, 0.8}, {20.0, 0.2}});
+  // Below the first point: the steep first segment must NOT extrapolate
+  // above the first value.
+  EXPECT_DOUBLE_EQ(mrc.at(9.999), 0.8);
+  EXPECT_DOUBLE_EQ(mrc.at(-5.0), 0.8);
+  // Above the last point likewise.
+  EXPECT_DOUBLE_EQ(mrc.at(20.001), 0.2);
+}
+
+TEST(EmpiricalMrc, MonotonicityViolationPicksTheWorstBump) {
+  EmpiricalMrc bumpy({{0.0, 0.6},
+                      {1.0, 0.7},    // +0.1
+                      {2.0, 0.3},
+                      {3.0, 0.55},   // +0.25  <- worst
+                      {4.0, 0.5}});
+  EXPECT_NEAR(bumpy.monotonicity_violation(), 0.25, 1e-12);
+}
+
 }  // namespace
 }  // namespace dicer::sim

@@ -185,5 +185,49 @@ TEST_P(PartitionIsolation, VictimLinesSurviveAggressorStorm) {
 INSTANTIATE_TEST_SUITE_P(VictimWays, PartitionIsolation,
                          ::testing::Values(1u, 2u, 4u, 7u));
 
+TEST(SetAssocCache, InvalidAllowedWayBeatsOlderValidLines) {
+  // Fill ways 0..2 (way 3 stays invalid), then miss with a full mask: the
+  // victim must be the invalid way 3, not the older valid line in way 0 —
+  // the merged lookup/victim scan must prefer invalid ways regardless of
+  // where valid candidates appeared in mask order.
+  SetAssocCache c(tiny());
+  const auto low3 = WayMask::low(3);
+  for (std::uint64_t t = 0; t < 3; ++t) c.access(addr(0, t), 0, low3);
+  const auto res = c.access(addr(0, 9), 0, WayMask::full(4));
+  EXPECT_FALSE(res.hit);
+  EXPECT_FALSE(res.evicted);  // filled the invalid way, evicted nothing
+  // All three previously-resident tags still hit.
+  for (std::uint64_t t = 0; t < 3; ++t) {
+    EXPECT_TRUE(c.access(addr(0, t), 0, WayMask::full(4)).hit);
+  }
+}
+
+TEST(SetAssocCache, FirstInvalidAllowedWayWins) {
+  // Two invalid allowed ways: the scan must take the first one in way
+  // order (the original early-break semantics), leaving the second
+  // invalid until the next miss.
+  SetAssocCache c(tiny());
+  const auto full = WayMask::full(4);
+  c.access(addr(0, 0), 0, full);  // way 0
+  c.access(addr(0, 1), 0, full);  // way 1
+  c.access(addr(0, 2), 0, full);  // way 2
+  EXPECT_FALSE(c.access(addr(0, 3), 0, full).evicted);  // fills way 3
+  // The set is now full; the next miss evicts true-LRU tag 0.
+  EXPECT_TRUE(c.access(addr(0, 4), 0, full).evicted);
+  EXPECT_FALSE(c.access(addr(0, 0), 0, full).hit);
+}
+
+TEST(SetAssocCache, HitOutsideAllocMaskStaysAHit) {
+  // CAT semantics: the mask restricts fills, not lookups. A line resident
+  // in way 0 must hit even when the requester may only allocate way 3.
+  SetAssocCache c(tiny(), 2);
+  c.access(addr(0, 5), 0, WayMask::low(1));  // fills way 0
+  const auto res = c.access(addr(0, 5), 1, WayMask::high(1, 4));
+  EXPECT_TRUE(res.hit);
+  // The hit migrated ownership to the toucher.
+  EXPECT_EQ(c.occupancy_bytes(1), 64u);
+  EXPECT_EQ(c.occupancy_bytes(0), 0u);
+}
+
 }  // namespace
 }  // namespace dicer::sim

@@ -1,0 +1,229 @@
+#include "sim/core/trace_apps.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace dicer::sim {
+namespace {
+
+constexpr double MB = 1024.0 * 1024.0;
+
+/// Fast profiling config for tests: small 20-way geometry, short windows.
+MrcProfilerConfig test_config() {
+  MrcProfilerConfig config;
+  config.geometry = {.size_bytes = static_cast<std::uint64_t>(5 * MB / 2),
+                     .ways = 20,
+                     .line_bytes = 64};
+  config.warmup_accesses = 30'000;
+  config.measure_accesses = 60'000;
+  config.mode = MrcProfilerMode::kSampled;
+  config.sampling = {.mode = ShardsMode::kFixedRate, .rate = 0.25};
+  return config;
+}
+
+TEST(FitMrc, ExactOnConvexTable) {
+  // A perfectly linear (hence convex) table: one uniform-reuse component.
+  const EmpiricalMrc table({{1 * MB, 0.75},
+                            {2 * MB, 0.50},
+                            {3 * MB, 0.25},
+                            {4 * MB, 0.00}});
+  const auto fit = fit_mrc(table);
+  EXPECT_NEAR(fit.ceiling(), 1.0, 1e-9);
+  EXPECT_NEAR(fit.floor(), 0.0, 1e-9);
+  for (const auto& [bytes, miss] : table.points()) {
+    EXPECT_NEAR(fit.at(bytes), miss, 1e-9);
+  }
+  EXPECT_NEAR(fit.at(1.5 * MB), 0.625, 1e-9);
+}
+
+TEST(FitMrc, ConvexTwoSlopeTableReproduced) {
+  // Steep early segment, shallow tail — convex, so the fit is exact at
+  // every breakpoint.
+  const EmpiricalMrc table({{1 * MB, 0.40},
+                            {2 * MB, 0.20},
+                            {3 * MB, 0.15},
+                            {4 * MB, 0.10}});
+  const auto fit = fit_mrc(table);
+  for (const auto& [bytes, miss] : table.points()) {
+    EXPECT_NEAR(fit.at(bytes), miss, 1e-9);
+  }
+  EXPECT_NEAR(fit.floor(), 0.10, 1e-9);
+}
+
+TEST(FitMrc, FlatTableIsPureStreaming) {
+  const EmpiricalMrc table({{1 * MB, 0.9}, {2 * MB, 0.9}, {3 * MB, 0.9}});
+  const auto fit = fit_mrc(table);
+  EXPECT_NEAR(fit.floor(), 0.9, 1e-12);
+  EXPECT_NEAR(fit.ceiling(), 0.9, 1e-12);
+  EXPECT_NEAR(fit.stream_fraction(), 1.0, 1e-12);
+  EXPECT_TRUE(fit.components().empty());
+}
+
+TEST(FitMrc, BumpyTableYieldsValidMonotoneCurve) {
+  // Upward bumps (profiling noise) must not break the curve invariants.
+  const EmpiricalMrc table({{1 * MB, 0.50},
+                            {2 * MB, 0.55},
+                            {3 * MB, 0.20},
+                            {4 * MB, 0.25}});
+  const auto fit = fit_mrc(table);
+  EXPECT_LE(fit.ceiling(), 1.0 + 1e-12);
+  EXPECT_NEAR(fit.floor(), 0.25, 1e-12);
+  double prev = fit.at(0.0);
+  for (double b = 0.0; b <= 5 * MB; b += MB / 4) {
+    const double m = fit.at(b);
+    EXPECT_LE(m, prev + 1e-12);
+    prev = m;
+  }
+}
+
+TEST(FitMrc, SinglePointTable) {
+  const auto fit = fit_mrc(EmpiricalMrc({{2 * MB, 0.3}}));
+  EXPECT_NEAR(fit.floor(), 0.3, 1e-12);
+  EXPECT_NEAR(fit.at(0.0), 0.3, 1e-12);
+}
+
+TEST(FitMrc, EmptyTableThrows) {
+  EXPECT_THROW(fit_mrc(EmpiricalMrc{}), std::invalid_argument);
+}
+
+TEST(TraceApps, DefaultSpecsCoverEveryPattern) {
+  const auto specs = default_trace_apps();
+  ASSERT_EQ(specs.size(), 4u);
+  bool seen[4] = {};
+  for (const auto& s : specs) seen[static_cast<int>(s.pattern)] = true;
+  for (bool b : seen) EXPECT_TRUE(b);
+}
+
+TEST(TraceApps, ProfiledAppShapesMatchTheirStreams) {
+  const auto specs = default_trace_apps();
+  const auto config = test_config();
+  for (const auto& spec : specs) {
+    SCOPED_TRACE(spec.name);
+    const AppProfile app = profile_trace_app(spec, config);
+    ASSERT_EQ(app.phases.size(), 1u);
+    EXPECT_EQ(app.suite, "TRACE");
+    const auto& mrc = app.phases[0].mrc;
+    EXPECT_GE(mrc.floor(), 0.0);
+    EXPECT_LE(mrc.ceiling(), 1.0 + 1e-9);
+    if (spec.pattern == TracePattern::kStreaming) {
+      // No reuse: flat and high everywhere.
+      EXPECT_GT(mrc.floor(), 0.9);
+      EXPECT_GT(mrc.stream_fraction(), 0.9);
+    }
+    if (spec.pattern == TracePattern::kMixed) {
+      // The reuse component must buy a real miss-ratio drop across the
+      // profiled range.
+      EXPECT_LT(mrc.at(static_cast<double>(config.geometry.size_bytes)),
+                mrc.ceiling() - 0.1);
+    }
+  }
+}
+
+TEST(TraceApps, DefaultProfileConfigIsUsable) {
+  // The default geometry must satisfy the profiler's power-of-two set
+  // constraint (the paper's literal 25 MB / 20-way / 64 B would not:
+  // 20480 sets). Regression test for the catalog's out-of-the-box path.
+  const auto config = default_trace_profile_config();
+  EXPECT_EQ(config.geometry.ways, 20u);
+  const auto app = profile_trace_app(default_trace_apps()[0], config);
+  ASSERT_EQ(app.phases.size(), 1u);
+  EXPECT_LE(app.phases[0].mrc.ceiling(), 1.0 + 1e-9);
+}
+
+TEST(TraceApps, AugmentedCatalogContainsBaseAndTraceApps) {
+  const auto catalog =
+      trace_augmented_catalog("", default_trace_apps(), test_config());
+  EXPECT_EQ(catalog.size(), 59u + 4u);
+  EXPECT_TRUE(catalog.contains("mcf1"));  // base catalog still intact
+  for (const auto& spec : default_trace_apps()) {
+    ASSERT_TRUE(catalog.contains(spec.name));
+    EXPECT_EQ(catalog.by_name(spec.name).app_class, spec.app_class);
+  }
+}
+
+TEST(TraceApps, ProfileCacheRoundTripsByteIdentical) {
+  const std::string path =
+      ::testing::TempDir() + "/trace_profile_roundtrip.csv";
+  std::remove(path.c_str());
+  const auto specs = default_trace_apps();
+  const auto config = test_config();
+  const auto first = trace_augmented_catalog(path, specs, config);
+  ASSERT_TRUE(std::ifstream(path).good());
+  const auto second = trace_augmented_catalog(path, specs, config);
+  for (const auto& spec : specs) {
+    const auto& a = first.by_name(spec.name).phases[0].mrc;
+    const auto& b = second.by_name(spec.name).phases[0].mrc;
+    EXPECT_EQ(a.floor(), b.floor());
+    ASSERT_EQ(a.components().size(), b.components().size());
+    for (std::size_t i = 0; i < a.components().size(); ++i) {
+      EXPECT_EQ(a.components()[i].weight, b.components()[i].weight);
+      EXPECT_EQ(a.components()[i].ws_bytes, b.components()[i].ws_bytes);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceApps, CorruptProfileCacheIsRecomputedNotFatal) {
+  const std::string path = ::testing::TempDir() + "/trace_profile_corrupt.csv";
+  const auto specs = default_trace_apps();
+  const auto config = test_config();
+  const auto clean = trace_augmented_catalog(path, specs, config);
+  {
+    // Clobber a numeric cell while keeping the key line intact.
+    std::ifstream in(path);
+    std::string key_line, header;
+    std::getline(in, key_line);
+    std::getline(in, header);
+    in.close();
+    std::ofstream out(path, std::ios::trunc);
+    out << key_line << "\n" << header << "\n";
+    out << "trace_stream1,not_a_number,0.5\n";
+  }
+  const auto recovered = trace_augmented_catalog(path, specs, config);
+  for (const auto& spec : specs) {
+    EXPECT_EQ(clean.by_name(spec.name).phases[0].mrc.floor(),
+              recovered.by_name(spec.name).phases[0].mrc.floor());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceApps, StaleKeyTriggersReprofile) {
+  const std::string path = ::testing::TempDir() + "/trace_profile_stale.csv";
+  std::remove(path.c_str());
+  const auto specs = default_trace_apps();
+  auto config = test_config();
+  trace_augmented_catalog(path, specs, config);
+  std::string old_key;
+  {
+    std::ifstream in(path);
+    std::getline(in, old_key);
+  }
+  config.sampling.seed ^= 1;  // result-shaping knob -> new key
+  trace_augmented_catalog(path, specs, config);
+  std::string new_key;
+  {
+    std::ifstream in(path);
+    std::getline(in, new_key);
+  }
+  EXPECT_NE(old_key, new_key);
+  std::remove(path.c_str());
+}
+
+TEST(TraceApps, CatalogAddRejectsDuplicatesAndEmpties) {
+  AppCatalog catalog;
+  AppProfile p;
+  EXPECT_THROW(catalog.add(p), std::invalid_argument);  // empty
+  p = catalog.at(0);
+  EXPECT_THROW(catalog.add(p), std::invalid_argument);  // duplicate name
+  p.name = "trace_unique_name";
+  catalog.add(p);
+  EXPECT_EQ(catalog.size(), 60u);
+  EXPECT_TRUE(catalog.contains("trace_unique_name"));
+}
+
+}  // namespace
+}  // namespace dicer::sim

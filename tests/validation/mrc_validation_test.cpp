@@ -3,6 +3,13 @@
 // tests pin its shapes to true set-associative LRU behaviour.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "sim/cache/mrc.hpp"
 #include "sim/cache/mrc_profiler.hpp"
 
@@ -81,6 +88,122 @@ TEST(MrcValidation, EmpiricalCurvesMonotone) {
     });
     EXPECT_LT(mrc.monotonicity_violation(), 0.05);
   }
+}
+
+// --- Single-pass profiler acceptance --------------------------------------
+//
+// The issue's acceptance bar for the reuse-distance profiler, enforced on
+// the 20-way validation geometry (2.5 MB / 20-way / 64 B = 2048 sets)
+// across every AddressStream family:
+//  * kSinglePass is byte-identical to the exact replay oracle;
+//  * kSampled stays within 0.02 absolute miss ratio of the oracle at
+//    every way count, for both fixed-rate and fixed-size plans.
+
+MrcProfilerConfig accept20() {
+  MrcProfilerConfig cfg;
+  cfg.geometry = {
+      .size_bytes = 5ull * 1024 * 1024 / 2, .ways = 20, .line_bytes = 64};
+  cfg.warmup_accesses = 100'000;
+  cfg.measure_accesses = 200'000;
+  return cfg;
+}
+
+using StreamFactory = std::function<std::unique_ptr<AddressStream>()>;
+
+constexpr std::uint64_t MB = 1 << 20;
+
+std::vector<std::pair<const char*, StreamFactory>> accept_families() {
+  return {
+      {"working_set",
+       [] {
+         return std::make_unique<WorkingSetStream>(MB, 0,
+                                                   util::Xoshiro256(42));
+       }},
+      {"streaming",
+       [] { return std::make_unique<StreamingStream>(64 * MB, 64, 0); }},
+      {"bimodal",
+       [] {
+         return std::make_unique<BimodalStream>(MB / 4, 4 * MB, 0.8, 0,
+                                                util::Xoshiro256(3));
+       }},
+      {"mixed",
+       [] {
+         return std::make_unique<MixedStream>(MB, 0.7, 0,
+                                              util::Xoshiro256(7));
+       }},
+  };
+}
+
+TEST(MrcValidation, SinglePassIsByteIdenticalToOracleOnAllFamilies) {
+  for (const auto& [name, make_stream] : accept_families()) {
+    SCOPED_TRACE(name);
+    auto exact_cfg = accept20();
+    exact_cfg.mode = MrcProfilerMode::kExactReplay;
+    auto fast_cfg = accept20();
+    fast_cfg.mode = MrcProfilerMode::kSinglePass;
+    const auto oracle = profile_mrc(exact_cfg, make_stream);
+    const auto fast = profile_mrc(fast_cfg, make_stream);
+    ASSERT_EQ(oracle.size(), 20u);
+    ASSERT_EQ(fast.size(), 20u);
+    for (std::size_t i = 0; i < 20; ++i) {
+      EXPECT_EQ(oracle.points()[i].first, fast.points()[i].first);
+      EXPECT_EQ(oracle.points()[i].second, fast.points()[i].second)
+          << "way count " << i + 1;
+    }
+  }
+}
+
+TEST(MrcValidation, SampledProfilerWithin2PercentOfOracleOnAllFamilies) {
+  const std::vector<std::pair<const char*, ShardsConfig>> plans = {
+      {"fixed_rate", {.mode = ShardsMode::kFixedRate, .rate = 0.125}},
+      {"fixed_size",
+       {.mode = ShardsMode::kFixedSize, .max_tracked_blocks = 8192}},
+  };
+  for (const auto& [fname, make_stream] : accept_families()) {
+    auto oracle_cfg = accept20();
+    oracle_cfg.mode = MrcProfilerMode::kExactReplay;
+    const auto oracle = profile_mrc(oracle_cfg, make_stream);
+    for (const auto& [pname, plan] : plans) {
+      SCOPED_TRACE(std::string(fname) + "/" + pname);
+      auto cfg = accept20();
+      cfg.mode = MrcProfilerMode::kSampled;
+      cfg.sampling = plan;
+      const auto sampled = profile_mrc(cfg, make_stream);
+      ASSERT_EQ(sampled.size(), oracle.size());
+      for (std::size_t i = 0; i < oracle.size(); ++i) {
+        EXPECT_NEAR(sampled.points()[i].second, oracle.points()[i].second,
+                    0.02)
+            << "way count " << i + 1;
+      }
+    }
+  }
+}
+
+TEST(MrcValidation, SinglePassIsMuchFasterThanSerialOracle) {
+  // Speed canary, deliberately far below the benched ~20x so CI noise
+  // cannot flake it: one pass must beat 20 serial replays by >= 4x.
+  const auto make_stream = [] {
+    return std::make_unique<WorkingSetStream>(1 << 20, 0,
+                                              util::Xoshiro256(42));
+  };
+  auto exact_cfg = accept20();
+  exact_cfg.mode = MrcProfilerMode::kExactReplay;
+  exact_cfg.jobs = 1;
+  auto fast_cfg = accept20();
+  fast_cfg.mode = MrcProfilerMode::kSinglePass;
+  // Warm both paths once (allocators, stream code), then time.
+  profile_mrc(fast_cfg, make_stream);
+  const auto t0 = std::chrono::steady_clock::now();
+  profile_mrc(exact_cfg, make_stream);
+  const auto t1 = std::chrono::steady_clock::now();
+  profile_mrc(fast_cfg, make_stream);
+  const auto t2 = std::chrono::steady_clock::now();
+  const double exact_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  const double fast_ms =
+      std::chrono::duration<double, std::milli>(t2 - t1).count();
+  EXPECT_GE(exact_ms / fast_ms, 4.0)
+      << "exact " << exact_ms << " ms vs single-pass " << fast_ms << " ms";
 }
 
 TEST(MrcValidation, PartitionedProfileSeesOnlyItsWays) {
