@@ -45,7 +45,7 @@ std::unique_ptr<policy::Dicer> make_variant(const std::string& name) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   bench::BenchEnv env(argc, argv);
   bench::print_header("Ablation: DICER variants (120 workloads, 10 cores)");
 
@@ -139,4 +139,9 @@ int main(int argc, char** argv) {
   t.print();
   std::cout << "\nCSV: " << env.path("ablation_dicer.csv") << "\n";
   return 0;
+}
+
+int main(int argc, char** argv) {
+  // One-line "program: error: ..." + non-zero exit for bad flag values.
+  return dicer::util::cli_main_guard(argv[0], [&] { return run(argc, argv); });
 }

@@ -8,7 +8,7 @@
 #include "bench_common.hpp"
 #include "util/stats.hpp"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace dicer;
   bench::BenchEnv env(argc, argv);
   bench::print_header("Figure 1: CDF of HP slowdown with 9 BEs (UM vs CT)");
@@ -62,4 +62,9 @@ int main(int argc, char** argv) {
             << "% of 3481 workloads (paper ~60%)\n";
   std::cout << "\nCSV: " << env.path("fig1_slowdown_cdf.csv") << "\n";
   return 0;
+}
+
+int main(int argc, char** argv) {
+  // One-line "program: error: ..." + non-zero exit for bad flag values.
+  return dicer::util::cli_main_guard(argv[0], [&] { return run(argc, argv); });
 }

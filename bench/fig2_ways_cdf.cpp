@@ -9,7 +9,7 @@
 #include "harness/solo.hpp"
 #include "util/stats.hpp"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace dicer;
   bench::BenchEnv env(argc, argv);
   bench::print_header(
@@ -52,4 +52,9 @@ int main(int argc, char** argv) {
             << "% (paper ~90%)\n";
   std::cout << "\nCSV: " << env.path("fig2_ways_cdf.csv") << "\n";
   return 0;
+}
+
+int main(int argc, char** argv) {
+  // One-line "program: error: ..." + non-zero exit for bad flag values.
+  return dicer::util::cli_main_guard(argv[0], [&] { return run(argc, argv); });
 }

@@ -12,7 +12,7 @@
 #include "policy/baselines.hpp"
 #include "policy/factory.hpp"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace dicer;
   bench::BenchEnv env(argc, argv);
   const std::string hp_name = env.args.get_or("hp", "milc1");
@@ -72,4 +72,9 @@ int main(int argc, char** argv) {
             << " (paper: 2 ways, ~1.09; CT at 19 ways ~1.45)\n";
   std::cout << "CSV: " << env.path("fig3_static_sweep.csv") << "\n";
   return 0;
+}
+
+int main(int argc, char** argv) {
+  // One-line "program: error: ..." + non-zero exit for bad flag values.
+  return dicer::util::cli_main_guard(argv[0], [&] { return run(argc, argv); });
 }

@@ -9,7 +9,7 @@
 #include "bench_common.hpp"
 #include "util/stats.hpp"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace dicer;
   bench::BenchEnv env(argc, argv);
   bench::print_header("Figure 4: EFU vs HP slowdown (120 workloads, UM & CT)");
@@ -57,4 +57,9 @@ int main(int argc, char** argv) {
             << " CT-T; paper: 50 + 70)\n";
   std::cout << "Scatter points: " << env.path("fig4_efu_scatter.csv") << "\n";
   return 0;
+}
+
+int main(int argc, char** argv) {
+  // One-line "program: error: ..." + non-zero exit for bad flag values.
+  return dicer::util::cli_main_guard(argv[0], [&] { return run(argc, argv); });
 }

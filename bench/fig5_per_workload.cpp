@@ -24,7 +24,7 @@ double gmean_of(const std::vector<dicer::harness::SweepRow>& rows,
 
 }  // namespace
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace dicer;
   bench::BenchEnv env(argc, argv);
   bench::print_header(
@@ -76,4 +76,9 @@ int main(int argc, char** argv) {
   std::cout << "Per-workload series: " << env.path("fig5_per_workload.csv")
             << "\n";
   return 0;
+}
+
+int main(int argc, char** argv) {
+  // One-line "program: error: ..." + non-zero exit for bad flag values.
+  return dicer::util::cli_main_guard(argv[0], [&] { return run(argc, argv); });
 }

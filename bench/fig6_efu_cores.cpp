@@ -10,7 +10,7 @@
 #include "bench_common.hpp"
 #include "util/stats.hpp"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace dicer;
   bench::BenchEnv env(argc, argv);
   bench::print_header("Figure 6: geomean EFU vs employed cores");
@@ -48,4 +48,9 @@ int main(int argc, char** argv) {
                "counts; DICER keeps EFU near 0.6 at 10 cores.\n";
   std::cout << "CSV: " << env.path("fig6_efu_cores.csv") << "\n";
   return 0;
+}
+
+int main(int argc, char** argv) {
+  // One-line "program: error: ..." + non-zero exit for bad flag values.
+  return dicer::util::cli_main_guard(argv[0], [&] { return run(argc, argv); });
 }

@@ -12,7 +12,7 @@
 #include "metrics/metrics.hpp"
 #include "util/stats.hpp"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace dicer;
   bench::BenchEnv env(argc, argv);
   bench::print_header("Figure 7: HP SLO conformance vs employed cores");
@@ -63,4 +63,9 @@ int main(int argc, char** argv) {
             << "% (paper 74%)\n";
   std::cout << "CSV: " << env.path("fig7_slo.csv") << "\n";
   return 0;
+}
+
+int main(int argc, char** argv) {
+  // One-line "program: error: ..." + non-zero exit for bad flag values.
+  return dicer::util::cli_main_guard(argv[0], [&] { return run(argc, argv); });
 }

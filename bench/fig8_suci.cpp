@@ -33,7 +33,7 @@ double suci_gmean(const std::vector<dicer::harness::SweepRow>& rows,
 
 }  // namespace
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace dicer;
   bench::BenchEnv env(argc, argv);
   bench::print_header("Figure 8: geomean SUCI vs employed cores");
@@ -73,4 +73,9 @@ int main(int argc, char** argv) {
                "for all SLOs and lambdas.\n";
   std::cout << "CSV: " << env.path("fig8_suci.csv") << "\n";
   return 0;
+}
+
+int main(int argc, char** argv) {
+  // One-line "program: error: ..." + non-zero exit for bad flag values.
+  return dicer::util::cli_main_guard(argv[0], [&] { return run(argc, argv); });
 }

@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "fleet/cluster.hpp"
 #include "harness/solo.hpp"
 #include "harness/sweep.hpp"
 #include "policy/dicer.hpp"
@@ -338,6 +339,36 @@ BENCHMARK(BM_PolicySweep)
       b->Arg(1);
       if (hw >= 4) b->Arg(std::max(2u, hw / 2));
       if (hw >= 2) b->Arg(hw);
+    })
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// One fleet epoch over 64 DICER machines under churn: the control plane
+// (departures/migrations/placement), the sharded data-plane step and the
+// ordered reduction together. Guards the "a 500-machine fleet runs in
+// seconds, not minutes" property fleet_sim depends on.
+void BM_FleetEpoch(benchmark::State& state) {
+  fleet::FleetConfig fc;
+  fc.num_machines = 64;
+  fc.cores_used = 6;
+  fc.churn.arrival_rate_per_sec = 20.0;
+  fc.churn.mean_lifetime_sec = 6.0;
+  fc.jobs = static_cast<unsigned>(state.range(0));
+  fleet::Cluster cluster(fc, sim::default_catalog());
+  for (auto _ : state) {
+    const auto m = cluster.step_epoch();
+    benchmark::DoNotOptimize(m.fleet_efu);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(fc.num_machines));
+  state.counters["machines"] = static_cast<double>(fc.num_machines);
+  state.counters["jobs"] = static_cast<double>(fc.jobs);
+}
+BENCHMARK(BM_FleetEpoch)
+    ->Apply([](benchmark::internal::Benchmark* b) {
+      b->Arg(1);
+      const unsigned hw = dicer::util::ThreadPool::hardware_workers();
+      if (hw > 1) b->Arg(static_cast<int>(hw));
     })
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);

@@ -5,7 +5,7 @@
 #include "rdt/capability.hpp"
 #include "sim/machine.hpp"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace dicer;
   bench::BenchEnv env(argc, argv);
   bench::print_header("Table 1: System configuration");
@@ -52,4 +52,9 @@ int main(int argc, char** argv) {
                  std::to_string(dc.sample_stride) + " ways"});
   t.print();
   return 0;
+}
+
+int main(int argc, char** argv) {
+  // One-line "program: error: ..." + non-zero exit for bad flag values.
+  return dicer::util::cli_main_guard(argv[0], [&] { return run(argc, argv); });
 }

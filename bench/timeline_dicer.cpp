@@ -47,7 +47,7 @@ std::string action_tag(const trace::Event& e) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   bench::BenchEnv env(argc, argv);
   bench::print_header("Timeline: DICER per-period controller narrative");
 
@@ -151,4 +151,9 @@ int main(int argc, char** argv) {
             << (dicer.ct_favoured() ? "CT-F" : "CT-T") << ".\n";
   std::cout << "CSV: " << env.path("timeline_dicer.csv") << "\n";
   return 0;
+}
+
+int main(int argc, char** argv) {
+  // One-line "program: error: ..." + non-zero exit for bad flag values.
+  return dicer::util::cli_main_guard(argv[0], [&] { return run(argc, argv); });
 }

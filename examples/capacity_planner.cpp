@@ -15,7 +15,7 @@
 #include "util/csv.hpp"
 #include "util/table.hpp"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace dicer;
 
   const util::CliArgs args(argc, argv);
@@ -72,4 +72,9 @@ int main(int argc, char** argv) {
                "SLO;\nBE throughput sums the normalised IPC of all BE "
                "instances at that point.\n";
   return 0;
+}
+
+int main(int argc, char** argv) {
+  // One-line "program: error: ..." + non-zero exit for bad flag values.
+  return dicer::util::cli_main_guard(argv[0], [&] { return run(argc, argv); });
 }

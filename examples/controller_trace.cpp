@@ -14,7 +14,7 @@
 #include "sim/core/catalog.hpp"
 #include "util/cli.hpp"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace dicer;
 
   const util::CliArgs args(argc, argv);
@@ -90,4 +90,9 @@ int main(int argc, char** argv) {
             << st.perf_resets << " performance resets, " << st.rollbacks
             << " rollbacks.\n";
   return 0;
+}
+
+int main(int argc, char** argv) {
+  // One-line "program: error: ..." + non-zero exit for bad flag values.
+  return dicer::util::cli_main_guard(argv[0], [&] { return run(argc, argv); });
 }

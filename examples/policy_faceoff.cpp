@@ -14,7 +14,7 @@
 #include "util/csv.hpp"
 #include "util/table.hpp"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace dicer;
 
   const util::CliArgs args(argc, argv);
@@ -61,4 +61,9 @@ int main(int argc, char** argv) {
   }
   table.print();
   return 0;
+}
+
+int main(int argc, char** argv) {
+  // One-line "program: error: ..." + non-zero exit for bad flag values.
+  return dicer::util::cli_main_guard(argv[0], [&] { return run(argc, argv); });
 }

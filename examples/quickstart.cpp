@@ -25,7 +25,7 @@
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace dicer;
 
   const util::CliArgs args(argc, argv);
@@ -78,4 +78,9 @@ int main(int argc, char** argv) {
     if (!timers.empty()) std::cerr << "\n" << timers;
   }
   return 0;
+}
+
+int main(int argc, char** argv) {
+  // One-line "program: error: ..." + non-zero exit for bad flag values.
+  return dicer::util::cli_main_guard(argv[0], [&] { return run(argc, argv); });
 }

@@ -36,6 +36,10 @@ DEFAULT_BENCHES = [
     "BM_ProfileMrcExact",
     "BM_ProfileMrcSinglePass",
     "BM_ProfileMrcSampled",
+    # The single-worker fleet epoch (control plane + data plane + ordered
+    # reduction); the multi-worker variant's name depends on the runner's
+    # core count, so only the /1 shard is pinned.
+    "BM_FleetEpoch/1/real_time",
 ]
 
 _UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}

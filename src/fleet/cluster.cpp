@@ -1,0 +1,376 @@
+#include "fleet/cluster.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "metrics/metrics.hpp"
+#include "policy/factory.hpp"
+#include "rdt/capability.hpp"
+#include "util/log.hpp"
+#include "util/trace.hpp"
+
+namespace dicer::fleet {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+std::string f17(double x) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", x);
+  return buf;
+}
+
+}  // namespace
+
+std::string epoch_csv_header() {
+  return "epoch,t_sec,tenants,occupied_machines,arrivals,departures,"
+         "rejected,migrations,fleet_efu,hp_norm_mean,slo_violations,"
+         "slo_violation_rate,link_rho_mean";
+}
+
+std::string epoch_csv_row(const EpochMetrics& m) {
+  std::string row = std::to_string(m.epoch);
+  row += ',' + f17(m.t_sec);
+  row += ',' + std::to_string(m.tenants);
+  row += ',' + std::to_string(m.occupied_machines);
+  row += ',' + std::to_string(m.arrivals);
+  row += ',' + std::to_string(m.departures);
+  row += ',' + std::to_string(m.rejected);
+  row += ',' + std::to_string(m.migrations);
+  row += ',' + f17(m.fleet_efu);
+  row += ',' + f17(m.hp_norm_mean);
+  row += ',' + std::to_string(m.slo_violations);
+  row += ',' + f17(m.slo_violation_rate);
+  row += ',' + f17(m.link_rho_mean);
+  return row;
+}
+
+Cluster::Cluster(const FleetConfig& config, const sim::AppCatalog& catalog)
+    : config_(config),
+      catalog_(&catalog),
+      directory_(catalog, config.machine),
+      churn_(config.churn, catalog) {
+  if (config.num_machines == 0) {
+    throw std::invalid_argument("Cluster: need at least one machine");
+  }
+  if (config.cores_used < 2 ||
+      config.cores_used > config.machine.num_cores) {
+    throw std::invalid_argument(
+        "Cluster: cores_used must be in [2, machine cores]");
+  }
+  if (config.epoch_sec < config.machine.quantum_sec - kEps) {
+    throw std::invalid_argument("Cluster: epoch shorter than one quantum");
+  }
+
+  placement_ =
+      make_placement(config.placement, directory_, config.seed ^ 0x9e3779b9);
+
+  jobs_ = util::ThreadPool::resolve_jobs(config.jobs, "DICER_FLEET_JOBS");
+  if (jobs_ > 1) pool_ = std::make_unique<util::ThreadPool>(jobs_);
+
+  // Boot every machine with a catalog-drawn HP. The draw consumes the rng
+  // in machine-index order, so the fleet's HP mix is a pure function of
+  // (seed, catalog) — placement engine and worker count never touch it.
+  util::Xoshiro256 rng(config.seed);
+  nodes_.resize(config.num_machines);
+  for (auto& node : nodes_) {
+    boot_node(node, &catalog.at(rng.below(catalog.size())));
+  }
+  DICER_INFO << "fleet: booted " << nodes_.size() << " machines ("
+             << config.policy << " policy, " << placement_->name()
+             << " placement, " << jobs_ << " jobs)";
+}
+
+Cluster::~Cluster() = default;
+
+void Cluster::boot_node(Node& node, const sim::AppProfile* hp) {
+  sim::MachineConfig mc = config_.machine;
+  // Per-quantum tracing from hundreds of machines would swamp any sink;
+  // fleet telemetry flows through the per-epoch events instead.
+  mc.tracer = config_.tracer;
+  node.machine = std::make_unique<sim::Machine>(mc);
+  const auto cap = rdt::Capability::probe(*node.machine, /*enable_mba=*/false);
+  node.cat = std::make_unique<rdt::CatController>(*node.machine, cap);
+  node.monitor =
+      std::make_unique<rdt::Monitor>(*node.machine, cap, config_.tracer);
+  node.policy = policy::make_policy(config_.policy);
+  node.hp = hp;
+  node.tenants.assign(config_.cores_used, std::nullopt);
+  node.instr_base.assign(config_.cores_used, 0.0);
+  node.cycles_base.assign(config_.cores_used, 0.0);
+
+  node.ctx.machine = node.machine.get();
+  node.ctx.cat = node.cat.get();
+  node.ctx.monitor = node.monitor.get();
+  node.ctx.mba = nullptr;
+  node.ctx.hp_core = 0;
+  node.ctx.tracer = config_.tracer;
+  for (unsigned c = 1; c < config_.cores_used; ++c) {
+    node.ctx.be_cores.push_back(c);
+  }
+
+  node.machine->attach(0, hp);
+  node.policy->setup(node.ctx);
+}
+
+unsigned Cluster::lowest_free_core(const Node& node) const {
+  for (unsigned c = 1; c < config_.cores_used; ++c) {
+    if (!node.tenants[c]) return c;
+  }
+  throw std::logic_error("Cluster: no free core on chosen machine");
+}
+
+void Cluster::admit(Node& node, unsigned core, const Tenant& tenant) {
+  node.tenants[core] = tenant;
+  node.machine->attach(core, tenant.app);
+  // Machine::detach reverted this core to the full mask; re-associating
+  // re-applies the BE CLOS mask the machine's policy currently runs.
+  node.cat->associate(core, policy::kBeClos);
+  node.monitor->track(core);
+}
+
+std::vector<MachineView> Cluster::views() const {
+  std::vector<MachineView> out;
+  out.reserve(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    MachineView v;
+    v.index = static_cast<unsigned>(i);
+    v.hp = n.hp;
+    for (unsigned c = 1; c < config_.cores_used; ++c) {
+      if (n.tenants[c]) v.tenants.push_back(n.tenants[c]->app);
+    }
+    v.free_cores = config_.cores_used - 1 -
+                   static_cast<unsigned>(v.tenants.size());
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+std::uint64_t Cluster::tenants_running() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& node : nodes_) {
+    for (const auto& t : node.tenants) n += t.has_value() ? 1u : 0u;
+  }
+  return n;
+}
+
+const sim::AppProfile& Cluster::hp_of(unsigned machine) const {
+  return *nodes_.at(machine).hp;
+}
+
+void Cluster::do_departures(double epoch_start, EpochMetrics& m) {
+  for (auto& node : nodes_) {
+    for (unsigned c = 1; c < config_.cores_used; ++c) {
+      if (node.tenants[c] &&
+          node.tenants[c]->depart_t_sec <= epoch_start + kEps) {
+        node.machine->detach(c);
+        node.tenants[c].reset();
+        ++m.departures;
+      }
+    }
+  }
+}
+
+void Cluster::do_migrations(EpochMetrics& m) {
+  if (config_.migrate_after == 0) return;
+  auto& tr = trace::resolve(config_.tracer);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    Node& src = nodes_[i];
+    if (src.slo_streak < config_.migrate_after) continue;
+    // Evict the most cache-hungry tenant — the likeliest HP antagonist.
+    unsigned victim_core = 0;
+    double victim_footprint = -1.0;
+    for (unsigned c = 1; c < config_.cores_used; ++c) {
+      if (!src.tenants[c]) continue;
+      const double f =
+          directory_.signal(src.tenants[c]->app->name).footprint_bytes;
+      if (f > victim_footprint) {
+        victim_footprint = f;
+        victim_core = c;
+      }
+    }
+    // Streak handled either way: a machine with nothing to migrate, or no
+    // destination, re-arms rather than retrying every epoch.
+    src.slo_streak = 0;
+    if (victim_core == 0) continue;
+
+    auto vs = views();
+    vs[i].free_cores = 0;  // never "migrate" onto the source
+    const Tenant tenant = *src.tenants[victim_core];
+    const auto dest = placement_->place(*tenant.app, vs);
+
+    PlacementRecord rec;
+    rec.tenant_id = tenant.id;
+    rec.epoch = epoch_;
+    rec.app = tenant.app->name;
+    rec.migration = true;
+    rec.accepted = dest.has_value();
+    if (dest) {
+      src.machine->detach(victim_core);
+      src.tenants[victim_core].reset();
+      Node& dst = nodes_[*dest];
+      rec.machine = *dest;
+      rec.core = lowest_free_core(dst);
+      admit(dst, rec.core, tenant);
+      ++m.migrations;
+      if (tr.enabled(trace::Kind::kMigration)) {
+        tr.emit(trace::Kind::kMigration,
+                static_cast<double>(epoch_) * config_.epoch_sec,
+                {{"tenant", tenant.id},
+                 {"app", tenant.app->name},
+                 {"from", static_cast<unsigned>(i)},
+                 {"to", *dest}});
+      }
+    }
+    placement_log_.push_back(std::move(rec));
+  }
+}
+
+void Cluster::do_arrivals(double epoch_end, EpochMetrics& m) {
+  auto& tr = trace::resolve(config_.tracer);
+  for (const auto& a : churn_.drain_until(epoch_end)) {
+    ++m.arrivals;
+    const auto dest = placement_->place(*a.app, views());
+
+    PlacementRecord rec;
+    rec.tenant_id = a.id;
+    rec.epoch = epoch_;
+    rec.app = a.app->name;
+    rec.accepted = dest.has_value();
+    if (dest) {
+      Node& dst = nodes_[*dest];
+      rec.machine = *dest;
+      rec.core = lowest_free_core(dst);
+      admit(dst, rec.core, {a.id, a.app, a.t_sec + a.lifetime_sec});
+    } else {
+      ++m.rejected;
+    }
+    if (tr.enabled(trace::Kind::kPlacement)) {
+      tr.emit(trace::Kind::kPlacement, a.t_sec,
+              {{"tenant", a.id},
+               {"app", a.app->name},
+               {"accepted", rec.accepted},
+               {"machine", rec.accepted ? rec.machine : 0u}});
+    }
+    placement_log_.push_back(std::move(rec));
+  }
+}
+
+void Cluster::step_all(double epoch_end) {
+  auto step_node = [&](std::size_t i) {
+    Node& node = nodes_[i];
+    sim::Machine& machine = *node.machine;
+    // The single-machine control loop, clipped to the epoch boundary:
+    // run to the next policy deadline (or the boundary, whichever is
+    // first), then let the policy act. Pure function of the node's own
+    // state — nothing here sees another machine.
+    while (machine.time_sec() < epoch_end - kEps) {
+      const double interval = std::max(node.policy->interval_sec(),
+                                       config_.machine.quantum_sec);
+      machine.run_until(std::min(machine.time_sec() + interval, epoch_end));
+      node.policy->act(node.ctx);
+    }
+  };
+  if (!pool_ || nodes_.size() <= 1) {
+    for (std::size_t i = 0; i < nodes_.size(); ++i) step_node(i);
+  } else {
+    util::parallel_for(*pool_, nodes_.size(), step_node);
+  }
+}
+
+void Cluster::reduce(EpochMetrics& m) {
+  double efu_sum = 0.0;
+  double hp_norm_sum = 0.0;
+  double rho_sum = 0.0;
+  for (auto& node : nodes_) {
+    std::vector<metrics::IpcPair> pairs;
+    pairs.reserve(config_.cores_used);
+    double hp_norm = 0.0;
+    for (unsigned c = 0; c < config_.cores_used; ++c) {
+      const auto& tel = node.machine->telemetry(c);
+      const double d_instr = tel.instructions - node.instr_base[c];
+      const double d_cycles = tel.active_cycles - node.cycles_base[c];
+      node.instr_base[c] = tel.instructions;
+      node.cycles_base[c] = tel.active_cycles;
+      const bool occupied = c == 0 || node.tenants[c].has_value();
+      if (!occupied || d_cycles <= 0.0) continue;
+      const double ipc = d_instr / d_cycles;
+      const double alone =
+          c == 0 ? directory_.signal(node.hp->name).ipc_alone
+                 : directory_.signal(node.tenants[c]->app->name).ipc_alone;
+      pairs.push_back({alone, ipc});
+      if (c == 0) hp_norm = alone > 0.0 ? ipc / alone : 0.0;
+    }
+    efu_sum += metrics::effective_utilisation(pairs);
+    hp_norm_sum += hp_norm;
+    rho_sum += std::min(node.machine->last_link_utilisation(), 1.0);
+    if (hp_norm < config_.slo_norm) {
+      ++m.slo_violations;
+      ++node.slo_streak;
+    } else {
+      node.slo_streak = 0;
+    }
+    if (std::any_of(node.tenants.begin(), node.tenants.end(),
+                    [](const auto& t) { return t.has_value(); })) {
+      ++m.occupied_machines;
+    }
+  }
+  const auto n = static_cast<double>(nodes_.size());
+  m.tenants = tenants_running();
+  m.fleet_efu = efu_sum / n;
+  m.hp_norm_mean = hp_norm_sum / n;
+  m.slo_violation_rate = static_cast<double>(m.slo_violations) / n;
+  m.link_rho_mean = rho_sum / n;
+}
+
+EpochMetrics Cluster::step_epoch() {
+  const double epoch_start = static_cast<double>(epoch_) * config_.epoch_sec;
+  const double epoch_end = epoch_start + config_.epoch_sec;
+
+  EpochMetrics m;
+  m.epoch = epoch_;
+  m.t_sec = epoch_end;
+
+  do_departures(epoch_start, m);
+  do_migrations(m);
+  do_arrivals(epoch_end, m);
+  step_all(epoch_end);
+  reduce(m);
+
+  auto& tr = trace::resolve(config_.tracer);
+  if (tr.enabled(trace::Kind::kFleetEpoch)) {
+    tr.emit(trace::Kind::kFleetEpoch, epoch_end,
+            {{"epoch", m.epoch},
+             {"tenants", m.tenants},
+             {"arrivals", m.arrivals},
+             {"departures", m.departures},
+             {"rejected", m.rejected},
+             {"migrations", m.migrations},
+             {"fleet_efu", m.fleet_efu},
+             {"hp_norm_mean", m.hp_norm_mean},
+             {"slo_violations", m.slo_violations},
+             {"link_rho_mean", m.link_rho_mean}});
+  }
+  ++epoch_;
+  return m;
+}
+
+std::vector<EpochMetrics> Cluster::run(std::uint64_t n_epochs) {
+  std::vector<EpochMetrics> rows;
+  rows.reserve(n_epochs);
+  for (std::uint64_t i = 0; i < n_epochs; ++i) rows.push_back(step_epoch());
+  return rows;
+}
+
+double Cluster::mean_efu(const std::vector<EpochMetrics>& rows) {
+  if (rows.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& r : rows) sum += r.fleet_efu;
+  return sum / static_cast<double>(rows.size());
+}
+
+}  // namespace dicer::fleet

@@ -1,0 +1,182 @@
+// fleet::Cluster — a datacenter of sim::Machine instances under tenant
+// churn.
+//
+// Every machine hosts one long-running HP service (drawn deterministically
+// from the catalog at boot) on core 0 and up to cores_used-1 best-effort
+// tenants, each machine governed by its own policy instance
+// (policy::factory — DICER by default, so the fleet is ~N independent
+// copies of the paper's single-machine loop). Time advances in epochs:
+//
+//   1. control plane (single-threaded, machine-index order):
+//      departures -> SLO-triggered migrations -> arrivals via the
+//      PlacementEngine
+//   2. data plane: every machine steps to the epoch boundary, sharded
+//      across a util::ThreadPool — machine i is task i, machines never
+//      interact mid-epoch, so any worker count replays the serial fleet
+//      bit-for-bit
+//   3. reduction (single-threaded, machine-index order): per-machine
+//      epoch EFU / HP QoS from telemetry deltas, folded into one
+//      EpochMetrics row
+//
+// The determinism contract matches the sweep's: same (config, seed) =>
+// byte-identical per-epoch CSV and placement log at any `jobs`.
+// Placement decisions, migrations and per-epoch aggregates are also
+// emitted as trace events (kPlacement / kMigration / kFleetEpoch) through
+// the dicer::trace sinks.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fleet/churn.hpp"
+#include "fleet/directory.hpp"
+#include "fleet/placement.hpp"
+#include "policy/policy.hpp"
+#include "rdt/cat.hpp"
+#include "rdt/monitor.hpp"
+#include "sim/core/catalog.hpp"
+#include "sim/machine.hpp"
+#include "util/thread_pool.hpp"
+
+namespace dicer::fleet {
+
+struct FleetConfig {
+  unsigned num_machines = 100;
+  /// Cores used per machine: core 0 is the HP, the rest are BE slots.
+  unsigned cores_used = 10;
+  sim::MachineConfig machine{};
+  std::string policy = "DICER";     ///< per-machine policy (policy::factory)
+  std::string placement = "mrc";    ///< random | least-loaded | mrc
+  double epoch_sec = 1.0;
+  double slo_norm = 0.90;           ///< HP SLO: normalised IPC >= slo_norm
+  /// Migrate one BE off a machine whose HP violated its SLO for this many
+  /// consecutive epochs (0 disables migration).
+  unsigned migrate_after = 3;
+  ChurnConfig churn{};
+  std::uint64_t seed = 42;          ///< HP assignment + random placement
+  unsigned jobs = 0;                ///< stepping shards; 0 = auto
+  /// Event sink (null = process-global tracer).
+  trace::Tracer* tracer = nullptr;
+};
+
+/// One epoch's fleet-level telemetry.
+struct EpochMetrics {
+  std::uint64_t epoch = 0;     ///< 0-based
+  double t_sec = 0.0;          ///< simulated time at epoch end
+  std::uint64_t tenants = 0;   ///< BE tenants running at epoch end
+  std::uint64_t occupied_machines = 0;  ///< machines with >= 1 BE tenant
+  std::uint64_t arrivals = 0;
+  std::uint64_t departures = 0;
+  std::uint64_t rejected = 0;    ///< arrivals with no feasible machine
+  std::uint64_t migrations = 0;
+  double fleet_efu = 0.0;        ///< mean per-machine EFU over the epoch
+  double hp_norm_mean = 0.0;     ///< mean normalised HP IPC
+  std::uint64_t slo_violations = 0;  ///< machines under slo_norm this epoch
+  double slo_violation_rate = 0.0;   ///< slo_violations / num_machines
+  double link_rho_mean = 0.0;    ///< mean end-of-epoch link utilisation
+};
+
+/// Shared CSV shape for the per-epoch fleet metrics (full %.17g precision,
+/// so the jobs-invariance tests pin every bit).
+std::string epoch_csv_header();
+std::string epoch_csv_row(const EpochMetrics& m);
+
+/// One placement-engine decision, in decision order (arrivals and
+/// migrations interleaved as they happened).
+struct PlacementRecord {
+  std::uint64_t tenant_id = 0;
+  std::uint64_t epoch = 0;
+  std::string app;
+  bool accepted = false;
+  bool migration = false;  ///< re-placement off an SLO-violating machine
+  unsigned machine = 0;    ///< valid iff accepted
+  unsigned core = 0;       ///< valid iff accepted
+};
+
+class Cluster {
+ public:
+  /// Builds num_machines booted machines (HP attached, policy set up).
+  /// `catalog` must outlive the cluster. Throws std::invalid_argument on
+  /// a nonsensical config (no machines, cores out of range, epoch shorter
+  /// than a quantum).
+  Cluster(const FleetConfig& config, const sim::AppCatalog& catalog);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Advance the whole fleet by one epoch and return its metrics row.
+  EpochMetrics step_epoch();
+  /// step_epoch() n times.
+  std::vector<EpochMetrics> run(std::uint64_t n_epochs);
+
+  const FleetConfig& config() const noexcept { return config_; }
+  const AppDirectory& directory() const noexcept { return directory_; }
+  unsigned num_machines() const noexcept {
+    return static_cast<unsigned>(nodes_.size());
+  }
+  std::uint64_t epochs_done() const noexcept { return epoch_; }
+  /// BE tenants currently running fleet-wide.
+  std::uint64_t tenants_running() const noexcept;
+  /// The HP app hosted on `machine`.
+  const sim::AppProfile& hp_of(unsigned machine) const;
+  /// Current placement-relevant state of every machine, in index order.
+  std::vector<MachineView> views() const;
+  /// Every placement decision so far, in decision order.
+  const std::vector<PlacementRecord>& placement_log() const noexcept {
+    return placement_log_;
+  }
+
+  /// Mean fleet EFU over a run's rows (0 for an empty run).
+  static double mean_efu(const std::vector<EpochMetrics>& rows);
+
+ private:
+  struct Tenant {
+    std::uint64_t id = 0;
+    const sim::AppProfile* app = nullptr;
+    double depart_t_sec = 0.0;
+  };
+
+  /// One machine plus its whole single-machine control plane. Pointer
+  /// members keep PolicyContext's raw pointers stable if nodes_ moves.
+  struct Node {
+    std::unique_ptr<sim::Machine> machine;
+    std::unique_ptr<rdt::CatController> cat;
+    std::unique_ptr<rdt::Monitor> monitor;
+    std::unique_ptr<policy::Policy> policy;
+    policy::PolicyContext ctx;
+    const sim::AppProfile* hp = nullptr;
+    std::vector<std::optional<Tenant>> tenants;  ///< indexed by core
+    unsigned slo_streak = 0;  ///< consecutive SLO-violating epochs
+    /// Telemetry baselines for epoch deltas, indexed by core.
+    std::vector<double> instr_base;
+    std::vector<double> cycles_base;
+  };
+
+  void boot_node(Node& node, const sim::AppProfile* hp);
+  /// Attach `tenant` to `core` of `node` (mask re-associated to the BE
+  /// CLOS — Machine::detach reverts cores to the full mask).
+  void admit(Node& node, unsigned core, const Tenant& tenant);
+  unsigned lowest_free_core(const Node& node) const;
+  void do_departures(double epoch_start, EpochMetrics& m);
+  void do_migrations(EpochMetrics& m);
+  void do_arrivals(double epoch_end, EpochMetrics& m);
+  void step_all(double epoch_end);
+  void reduce(EpochMetrics& m);
+
+  FleetConfig config_;
+  const sim::AppCatalog* catalog_;
+  AppDirectory directory_;
+  ChurnGenerator churn_;
+  std::unique_ptr<PlacementEngine> placement_;
+  std::vector<Node> nodes_;
+  std::unique_ptr<util::ThreadPool> pool_;  ///< null when jobs == 1
+  unsigned jobs_ = 1;
+  std::uint64_t epoch_ = 0;
+  std::vector<PlacementRecord> placement_log_;
+};
+
+}  // namespace dicer::fleet

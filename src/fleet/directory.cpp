@@ -1,0 +1,53 @@
+#include "fleet/directory.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "harness/solo.hpp"
+
+namespace dicer::fleet {
+
+double AppSignal::ipc_at_ways(double ways) const noexcept {
+  if (ipc_by_ways.empty()) return 0.0;
+  const double max_w = static_cast<double>(ipc_by_ways.size());
+  const double w = std::clamp(ways, 1.0, max_w);
+  const auto lo = static_cast<std::size_t>(std::floor(w)) - 1;
+  const auto hi = std::min(lo + 1, ipc_by_ways.size() - 1);
+  const double frac = w - std::floor(w);
+  return ipc_by_ways[lo] + frac * (ipc_by_ways[hi] - ipc_by_ways[lo]);
+}
+
+AppDirectory::AppDirectory(const sim::AppCatalog& catalog,
+                           const sim::MachineConfig& machine,
+                           double hp_fraction)
+    : machine_(machine) {
+  const unsigned ways = machine.llc.ways;
+  for (const auto& app : catalog.profiles()) {
+    AppSignal s;
+    s.profile = &app;
+    s.ipc_by_ways.reserve(ways);
+    s.bw_by_ways.reserve(ways);
+    for (unsigned w = 1; w <= ways; ++w) {
+      const auto solo = harness::solo_steady_state(app, w, machine);
+      s.ipc_by_ways.push_back(solo.ipc);
+      s.bw_by_ways.push_back(solo.mem_bw_bytes_per_sec);
+    }
+    s.ipc_alone = s.ipc_by_ways.back();
+    for (const auto& ph : app.phases) {
+      s.footprint_bytes = std::max(s.footprint_bytes, ph.mrc.footprint_bytes());
+    }
+    s.ways_needed = harness::min_ways_for_fraction(app, hp_fraction, machine);
+    signals_.emplace(app.name, std::move(s));
+  }
+}
+
+const AppSignal& AppDirectory::signal(const std::string& name) const {
+  const auto it = signals_.find(name);
+  if (it == signals_.end()) {
+    throw std::out_of_range("AppDirectory: unknown app '" + name + "'");
+  }
+  return it->second;
+}
+
+}  // namespace dicer::fleet

@@ -1,0 +1,127 @@
+#include "fleet/placement.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "metrics/metrics.hpp"
+
+namespace dicer::fleet {
+
+std::optional<unsigned> RandomPlacement::place(
+    const sim::AppProfile& /*app*/, const std::vector<MachineView>& views) {
+  std::vector<unsigned> open;
+  open.reserve(views.size());
+  for (const auto& v : views) {
+    if (v.free_cores > 0) open.push_back(v.index);
+  }
+  if (open.empty()) return std::nullopt;
+  return open[rng_.below(open.size())];
+}
+
+std::optional<unsigned> LeastLoadedPlacement::place(
+    const sim::AppProfile& /*app*/, const std::vector<MachineView>& views) {
+  std::optional<unsigned> best;
+  std::size_t best_load = 0;
+  for (const auto& v : views) {
+    if (v.free_cores == 0) continue;
+    if (!best || v.tenants.size() < best_load) {
+      best = v.index;
+      best_load = v.tenants.size();
+    }
+  }
+  return best;
+}
+
+double MrcBestFitPlacement::predict(
+    const MachineView& view, const std::vector<const AppSignal*>& bes) const {
+  const auto& machine = dir_->machine();
+  const auto total_ways = machine.llc.ways;
+
+  // The HP holds the partition it needs to stay near solo IPC (DICER's
+  // steady state); everything else is the BE pool.
+  const auto& hp_sig = dir_->signal(view.hp->name);
+  const unsigned hp_ways =
+      std::clamp(hp_sig.ways_needed, 1u, total_ways - 1u);
+  const double be_ways = static_cast<double>(total_ways - hp_ways);
+
+  // The BE pool splits in proportion to MRC footprint: a streaming app
+  // with no reuse mass takes (and gains from) almost nothing, a deep-knee
+  // app claims most of the pool. Footprint-less mixes fall back to an
+  // even split.
+  double footprint_sum = 0.0;
+  for (const auto* s : bes) footprint_sum += s->footprint_bytes;
+
+  std::vector<metrics::IpcPair> pairs;
+  pairs.reserve(bes.size() + 1);
+  double demand = hp_sig.bw_by_ways[hp_ways - 1];
+  pairs.push_back({hp_sig.ipc_alone, hp_sig.ipc_at_ways(hp_ways)});
+  for (const auto* s : bes) {
+    const double share =
+        footprint_sum > 0.0
+            ? be_ways * (s->footprint_bytes / footprint_sum)
+            : be_ways / static_cast<double>(bes.size());
+    const double w = std::clamp(share, 1.0, be_ways);
+    pairs.push_back({s->ipc_alone, s->ipc_at_ways(w)});
+    demand += s->bw_by_ways[static_cast<std::size_t>(w) - 1];
+  }
+
+  // Oversubscribing the memory link slows everyone proportionally —
+  // a crude but monotone stand-in for the saturating-link model.
+  const double capacity = machine.link.capacity_bytes_per_sec;
+  const double link_factor =
+      demand > capacity && demand > 0.0 ? capacity / demand : 1.0;
+  for (auto& p : pairs) p.colocated *= link_factor;
+
+  return metrics::effective_utilisation(pairs);
+}
+
+double MrcBestFitPlacement::score(const sim::AppProfile& app,
+                                  const MachineView& view) const {
+  std::vector<const AppSignal*> bes;
+  bes.reserve(view.tenants.size() + 1);
+  for (const auto* t : view.tenants) bes.push_back(&dir_->signal(t->name));
+  bes.push_back(&dir_->signal(app.name));
+  return predict(view, bes);
+}
+
+std::optional<unsigned> MrcBestFitPlacement::place(
+    const sim::AppProfile& app, const std::vector<MachineView>& views) {
+  // Greedy on the *marginal* EFU: the fleet metric is the mean of
+  // per-machine EFUs and placing on machine m changes only m's term, so
+  // the fleet-optimal greedy picks the machine whose predicted EFU drops
+  // least (or rises most) when the tenant joins. Maximising the absolute
+  // post-placement score instead would chase machines that score well
+  // regardless of the tenant.
+  std::optional<unsigned> best;
+  double best_delta = 0.0;
+  for (const auto& v : views) {
+    if (v.free_cores == 0) continue;
+    std::vector<const AppSignal*> bes;
+    bes.reserve(v.tenants.size() + 1);
+    for (const auto* t : v.tenants) bes.push_back(&dir_->signal(t->name));
+    const double before = predict(v, bes);
+    bes.push_back(&dir_->signal(app.name));
+    const double delta = predict(v, bes) - before;
+    if (!best || delta > best_delta) {
+      best = v.index;
+      best_delta = delta;
+    }
+  }
+  return best;
+}
+
+std::unique_ptr<PlacementEngine> make_placement(const std::string& name,
+                                                const AppDirectory& directory,
+                                                std::uint64_t seed) {
+  if (name == "random") return std::make_unique<RandomPlacement>(seed);
+  if (name == "least-loaded") return std::make_unique<LeastLoadedPlacement>();
+  if (name == "mrc") return std::make_unique<MrcBestFitPlacement>(directory);
+  throw std::invalid_argument("make_placement: unknown engine '" + name +
+                              "' (try random, least-loaded, mrc)");
+}
+
+std::vector<std::string> known_placements() {
+  return {"random", "least-loaded", "mrc"};
+}
+
+}  // namespace dicer::fleet

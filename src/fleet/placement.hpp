@@ -1,0 +1,99 @@
+// Pluggable tenant placement.
+//
+// When a tenant arrives, the cluster asks a PlacementEngine which machine
+// it should land on. Three engines ship:
+//
+//   random        uniform over machines with a free BE core (seeded —
+//                 deterministic — baseline for "does placement matter?")
+//   least-loaded  fewest running BE tenants, ties to the lowest index
+//   mrc           MRC-aware best-fit: scores every candidate machine by
+//                 the EFU it would have *after* the tenant lands —
+//                 HP keeps its ways_needed partition, the BEs split the
+//                 remainder in proportion to their MRC footprints, each
+//                 app's IPC is read off its ipc-vs-ways curve, and the
+//                 whole machine is discounted when predicted bandwidth
+//                 demand oversubscribes the memory link. Picks the
+//                 highest post-placement EFU (Com-CAS-style footprint
+//                 packing driven by the sampled-MRC app directory).
+//
+// Engines are called from the single-threaded control plane only; they
+// may keep internal state (the random engine's RNG) and stay deterministic
+// for a (seed, call sequence) pair.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fleet/directory.hpp"
+#include "util/rng.hpp"
+
+namespace dicer::fleet {
+
+/// One machine's placement-relevant state, refreshed before every decision.
+struct MachineView {
+  unsigned index = 0;
+  const sim::AppProfile* hp = nullptr;
+  std::vector<const sim::AppProfile*> tenants;  ///< running BEs
+  unsigned free_cores = 0;                      ///< open BE slots
+};
+
+class PlacementEngine {
+ public:
+  virtual ~PlacementEngine() = default;
+  virtual std::string name() const = 0;
+  /// The machine index `app` should land on, or nullopt to reject.
+  /// Only views with free_cores > 0 are eligible.
+  virtual std::optional<unsigned> place(
+      const sim::AppProfile& app, const std::vector<MachineView>& views) = 0;
+};
+
+class RandomPlacement final : public PlacementEngine {
+ public:
+  explicit RandomPlacement(std::uint64_t seed) : rng_(seed) {}
+  std::string name() const override { return "random"; }
+  std::optional<unsigned> place(const sim::AppProfile& app,
+                                const std::vector<MachineView>& views) override;
+
+ private:
+  util::Xoshiro256 rng_;
+};
+
+class LeastLoadedPlacement final : public PlacementEngine {
+ public:
+  std::string name() const override { return "least-loaded"; }
+  std::optional<unsigned> place(const sim::AppProfile& app,
+                                const std::vector<MachineView>& views) override;
+};
+
+class MrcBestFitPlacement final : public PlacementEngine {
+ public:
+  /// `directory` must outlive the engine.
+  explicit MrcBestFitPlacement(const AppDirectory& directory)
+      : dir_(&directory) {}
+  std::string name() const override { return "mrc"; }
+  std::optional<unsigned> place(const sim::AppProfile& app,
+                                const std::vector<MachineView>& views) override;
+
+  /// Predicted machine EFU if `app` joined `view` (exposed for tests;
+  /// place() maximises the *delta* of this against the machine as-is).
+  double score(const sim::AppProfile& app, const MachineView& view) const;
+
+ private:
+  /// Predicted machine EFU for `view`'s HP plus the given BE set.
+  double predict(const MachineView& view,
+                 const std::vector<const AppSignal*>& bes) const;
+
+  const AppDirectory* dir_;
+};
+
+/// Engine by name: "random", "least-loaded" or "mrc". `seed` feeds the
+/// random engine; `directory` the MRC one. Throws std::invalid_argument
+/// for unknown names.
+std::unique_ptr<PlacementEngine> make_placement(const std::string& name,
+                                                const AppDirectory& directory,
+                                                std::uint64_t seed);
+std::vector<std::string> known_placements();
+
+}  // namespace dicer::fleet

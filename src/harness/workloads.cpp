@@ -77,27 +77,65 @@ std::optional<BaselineStudy> load_baseline_cache(
   std::getline(in, line);  // column header
   BaselineStudy study;
   study.config = config;
-  while (std::getline(in, line)) {
-    std::istringstream ss(line);
-    BaselineEntry e;
-    std::string cell;
-    auto next = [&]() {
-      if (!std::getline(ss, cell, ',')) {
-        throw std::runtime_error("baseline cache: truncated row in " + path);
+  // Per-row validation: field count and full numeric parses are checked
+  // cell by cell, and any defect reports file, line and column before the
+  // loader falls back to recomputing — a malformed row must never escape
+  // as an uncaught std::stod exception or a silent garbage value.
+  std::size_t lineno = 2;  // 1-based; key + header already consumed
+  try {
+    while (std::getline(in, line)) {
+      ++lineno;
+      std::istringstream ss(line);
+      BaselineEntry e;
+      std::string cell;
+      unsigned column = 0;
+      auto next = [&]() {
+        ++column;
+        if (!std::getline(ss, cell, ',')) {
+          throw std::runtime_error(path + ":" + std::to_string(lineno) +
+                                   ": truncated row (" +
+                                   std::to_string(column - 1) +
+                                   " of 10 fields)");
+        }
+        return cell;
+      };
+      auto next_double = [&]() {
+        const std::string& c = next();
+        std::size_t pos = 0;
+        double v = 0.0;
+        bool ok = true;
+        try {
+          v = std::stod(c, &pos);
+        } catch (const std::exception&) {
+          ok = false;
+        }
+        if (!ok || pos != c.size()) {
+          throw std::runtime_error(path + ":" + std::to_string(lineno) +
+                                   ": column " + std::to_string(column) +
+                                   ": bad number '" + c + "'");
+        }
+        return v;
+      };
+      e.spec.hp = next();
+      e.spec.be = next();
+      e.hp_alone_ipc = next_double();
+      e.be_alone_ipc = next_double();
+      e.um_hp_ipc = next_double();
+      e.um_be_ipc = next_double();
+      e.ct_hp_ipc = next_double();
+      e.ct_be_ipc = next_double();
+      e.um_efu = next_double();
+      e.ct_efu = next_double();
+      if (std::getline(ss, cell, ',')) {
+        throw std::runtime_error(path + ":" + std::to_string(lineno) +
+                                 ": trailing columns after field 10");
       }
-      return cell;
-    };
-    e.spec.hp = next();
-    e.spec.be = next();
-    e.hp_alone_ipc = std::stod(next());
-    e.be_alone_ipc = std::stod(next());
-    e.um_hp_ipc = std::stod(next());
-    e.um_be_ipc = std::stod(next());
-    e.ct_hp_ipc = std::stod(next());
-    e.ct_be_ipc = std::stod(next());
-    e.um_efu = std::stod(next());
-    e.ct_efu = std::stod(next());
-    study.entries.push_back(std::move(e));
+      study.entries.push_back(std::move(e));
+    }
+  } catch (const std::exception& e) {
+    DICER_WARN << "baseline cache is malformed (" << e.what()
+               << "); recomputing";
+    return std::nullopt;
   }
   if (study.entries.size() != catalog.size() * catalog.size()) {
     DICER_WARN << "baseline cache " << path << " has wrong row count";

@@ -76,7 +76,9 @@ BaselineStudy baseline_study(const sim::AppCatalog& catalog,
 
 /// Persist / restore a study (the cache layer under baseline_study,
 /// exposed for tooling and tests). Loading returns nullopt when the file
-/// is missing or keyed for a different catalog/machine configuration.
+/// is missing, keyed for a different catalog/machine configuration, or
+/// malformed — short rows, non-numeric cells and trailing columns are
+/// diagnosed with file/line/column in a warning instead of crashing.
 void save_baseline_cache(const std::string& path, const BaselineStudy& study,
                          const sim::AppCatalog& catalog);
 std::optional<BaselineStudy> load_baseline_cache(

@@ -17,7 +17,19 @@ std::unique_ptr<Policy> make_policy(const std::string& name) {
   if (name == "DICER+ADM") return std::make_unique<DicerAdmission>();
   if (name.rfind("Static(", 0) == 0 && name.back() == ')') {
     const std::string arg = name.substr(7, name.size() - 8);
-    const int ways = std::stoi(arg);
+    // Full-consumption parse: "Static(4x)" must not silently become
+    // Static(4).
+    std::size_t pos = 0;
+    int ways = 0;
+    try {
+      ways = std::stoi(arg, &pos);
+    } catch (const std::exception&) {
+      pos = std::string::npos;
+    }
+    if (pos != arg.size() || arg.empty()) {
+      throw std::invalid_argument("make_policy: bad Static way count '" +
+                                  arg + "'");
+    }
     if (ways < 1) {
       throw std::invalid_argument("make_policy: Static needs ways >= 1");
     }

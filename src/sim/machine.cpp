@@ -430,4 +430,8 @@ void Machine::run_for(double seconds) {
   }
 }
 
+void Machine::run_until(double t_sec) {
+  while (time_sec_ < t_sec - 1e-9) step();
+}
+
 }  // namespace dicer::sim

@@ -158,6 +158,10 @@ class Machine {
   void step();
   /// Advance by `seconds` in whole quanta (rounds up to >= 1 quantum).
   void run_for(double seconds);
+  /// Advance until time_sec() >= t_sec (no-op if already there). Unlike
+  /// run_for, never overshoots by a whole interval — the fleet layer uses
+  /// it to land every machine exactly on an epoch boundary.
+  void run_until(double t_sec);
 
   const CoreTelemetry& telemetry(unsigned core) const;
 

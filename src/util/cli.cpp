@@ -1,6 +1,8 @@
 #include "util/cli.hpp"
 
+#include <cerrno>
 #include <cstdlib>
+#include <iostream>
 
 namespace dicer::util {
 
@@ -37,23 +39,59 @@ std::string CliArgs::get_or(const std::string& key,
   return get(key).value_or(def);
 }
 
+namespace {
+
+[[noreturn]] void bad_value(const std::string& key, const std::string& value,
+                            const char* expected) {
+  throw CliError("invalid value for --" + key + ": '" + value +
+                 "' (expected " + expected + ")");
+}
+
+}  // namespace
+
 long CliArgs::get_int(const std::string& key, long def) const {
   const auto v = get(key);
   if (!v || v->empty()) return def;
-  return std::strtol(v->c_str(), nullptr, 10);
+  errno = 0;
+  char* end = nullptr;
+  const long r = std::strtol(v->c_str(), &end, 10);
+  // Full consumption: `end` must land on the terminator, having consumed
+  // at least one character — "4x", "x4" and "" are all rejected.
+  if (end == v->c_str() || *end != '\0') bad_value(key, *v, "integer");
+  if (errno == ERANGE) bad_value(key, *v, "integer in range");
+  return r;
 }
 
 double CliArgs::get_double(const std::string& key, double def) const {
   const auto v = get(key);
   if (!v || v->empty()) return def;
-  return std::strtod(v->c_str(), nullptr);
+  errno = 0;
+  char* end = nullptr;
+  const double r = std::strtod(v->c_str(), &end);
+  if (end == v->c_str() || *end != '\0') bad_value(key, *v, "number");
+  if (errno == ERANGE) bad_value(key, *v, "number in range");
+  return r;
 }
 
 bool CliArgs::get_bool(const std::string& key, bool def) const {
   const auto v = get(key);
   if (!v) return def;
   if (v->empty()) return true;  // bare --flag means true
-  return *v == "1" || *v == "true" || *v == "yes" || *v == "on";
+  if (*v == "1" || *v == "true" || *v == "yes" || *v == "on") return true;
+  if (*v == "0" || *v == "false" || *v == "no" || *v == "off") return false;
+  bad_value(key, *v, "boolean (true/false/1/0/yes/no/on/off)");
+}
+
+int cli_main_guard(const char* program, const std::function<int()>& body) {
+  try {
+    return body();
+  } catch (const CliError& e) {
+    std::cerr << program << ": error: " << e.what() << "\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << program << ": error: " << e.what() << "\n";
+    return 1;
+  }
 }
 
 }  // namespace dicer::util

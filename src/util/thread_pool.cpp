@@ -1,6 +1,7 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdlib>
 #include <exception>
 
@@ -34,12 +35,33 @@ unsigned ThreadPool::resolve_jobs(unsigned requested, const char* env_var) {
   if (requested != 0) return requested;
   if (env_var != nullptr) {
     if (const char* env = std::getenv(env_var)) {
+      // Strict parse: digits only. strtoul alone would accept leading
+      // whitespace/signs ("-1" wraps to huge) and partial parses ("4x" -> 4).
       char* end = nullptr;
+      errno = 0;
       const unsigned long v = std::strtoul(env, &end, 10);
-      if (end && *end == '\0' && v >= 1 && v <= 4096) {
-        return static_cast<unsigned>(v);
+      const bool digits_only =
+          env[0] >= '0' && env[0] <= '9' && end && *end == '\0';
+      if (!digits_only || errno == ERANGE) {
+        DICER_WARN << "ignoring invalid " << env_var << "='" << env
+                   << "' (expected an unsigned integer); using "
+                   << hardware_workers() << " workers";
+        return hardware_workers();
       }
-      DICER_WARN << "ignoring invalid " << env_var << "='" << env << "'";
+      if (v == 0) {
+        DICER_WARN << env_var << "=0 is not a worker count; using "
+                   << hardware_workers() << " workers";
+        return hardware_workers();
+      }
+      // More workers than 4x the hardware threads only adds contention;
+      // clamp (loudly) instead of oversubscribing by orders of magnitude.
+      const unsigned long cap = 4ul * hardware_workers();
+      if (v > cap) {
+        DICER_WARN << env_var << "=" << v << " exceeds 4x hardware "
+                   << "concurrency; clamping to " << cap;
+        return static_cast<unsigned>(cap);
+      }
+      return static_cast<unsigned>(v);
     }
   }
   return hardware_workers();

@@ -49,9 +49,12 @@ class ThreadPool {
   static unsigned hardware_workers() noexcept;
 
   /// Resolve a requested worker count: non-zero requests win; 0 consults
-  /// the environment variable `env_var` (when non-null; accepted range
-  /// 1..4096, anything else logged and ignored), then falls back to
-  /// hardware concurrency. The result is always >= 1.
+  /// the environment variable `env_var` (when non-null), then falls back
+  /// to hardware concurrency. The env value must be a plain unsigned
+  /// integer — partial parses ("4x"), signs and whitespace are rejected
+  /// with a warning; 0 is diagnosed and ignored; values above 4x the
+  /// hardware thread count are clamped (with a warning) to that cap.
+  /// The result is always >= 1.
   static unsigned resolve_jobs(unsigned requested,
                                const char* env_var = nullptr);
 

@@ -72,6 +72,9 @@ const char* kind_name(Kind kind) noexcept {
     case Kind::kResetValidate: return "reset_validate";
     case Kind::kRunBegin: return "run_begin";
     case Kind::kRunEnd: return "run_end";
+    case Kind::kPlacement: return "placement";
+    case Kind::kMigration: return "migration";
+    case Kind::kFleetEpoch: return "fleet_epoch";
     case Kind::kMonitorPoll: return "monitor_poll";
     case Kind::kQuantum: return "quantum";
     case Kind::kTimer: return "timer";

@@ -50,6 +50,9 @@ enum class Kind : unsigned {
   kResetValidate,   ///< Listing 3 validation outcome (incl. rollbacks)
   kRunBegin,        ///< harness consolidation started
   kRunEnd,          ///< harness consolidation finished (results)
+  kPlacement,       ///< fleet tenant placement decision (incl. rejections)
+  kMigration,       ///< fleet BE migration off an SLO-violating machine
+  kFleetEpoch,      ///< fleet per-epoch aggregate metrics
   kMonitorPoll,     ///< rdt::Monitor poll_all snapshot (verbose)
   kQuantum,         ///< sim::Machine quantum counters (verbose)
   kTimer,           ///< scoped wall-clock timer (verbose, nondeterministic)

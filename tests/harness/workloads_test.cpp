@@ -3,7 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
+#include <functional>
 #include <set>
+#include <string>
+#include <vector>
 
 namespace dicer::harness {
 namespace {
@@ -154,6 +158,75 @@ TEST(RepresentativeSample, RequestMoreThanPoolGetsPool) {
   tiny.entries.push_back(entry("c", "d", 1.0, 0.8, 0.78));  // CT-T
   const auto sample = representative_sample(tiny, 5, 5);
   EXPECT_EQ(sample.size(), 2u);
+}
+
+// --- malformed-cache hardening: every defect is diagnosed, none aborts --
+
+/// Writes a valid cache, then rewrites data line `row` (1-based within the
+/// data section) via `mutate`, returning the path.
+std::string corrupted_cache(const std::string& name,
+                            const std::function<std::string(std::string)>&
+                                mutate,
+                            std::size_t row = 1) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  const auto& catalog = sim::default_catalog();
+  auto study = synthetic_study();
+  study.config = ConsolidationConfig{};
+  save_baseline_cache(path, study, catalog);
+
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  in.close();
+  lines.at(1 + row) = mutate(lines.at(1 + row));  // key + header precede
+
+  std::ofstream out(path);
+  for (const auto& l : lines) out << l << '\n';
+  return path;
+}
+
+TEST(BaselineCache, BadNumberCellIsDiagnosedNotFatal) {
+  // The historical bug: a non-numeric cell escaped as an uncaught
+  // std::stod exception and killed the whole bench.
+  const auto path = corrupted_cache("baseline_badnum_test.csv",
+                                    [](std::string l) {
+                                      const auto comma = l.rfind(',');
+                                      return l.substr(0, comma + 1) + "oops";
+                                    });
+  EXPECT_FALSE(load_baseline_cache(path, sim::default_catalog(),
+                                   ConsolidationConfig{})
+                   .has_value());
+  std::remove(path.c_str());
+}
+
+TEST(BaselineCache, PartialNumberCellIsDiagnosedNotFatal) {
+  // "0.8x" must not silently truncate to 0.8.
+  const auto path = corrupted_cache("baseline_partial_test.csv",
+                                    [](std::string l) { return l + "x"; });
+  EXPECT_FALSE(load_baseline_cache(path, sim::default_catalog(),
+                                   ConsolidationConfig{})
+                   .has_value());
+  std::remove(path.c_str());
+}
+
+TEST(BaselineCache, TruncatedRowIsDiagnosedNotFatal) {
+  const auto path = corrupted_cache(
+      "baseline_truncated_test.csv",
+      [](std::string l) { return l.substr(0, l.rfind(',')); }, 7);
+  EXPECT_FALSE(load_baseline_cache(path, sim::default_catalog(),
+                                   ConsolidationConfig{})
+                   .has_value());
+  std::remove(path.c_str());
+}
+
+TEST(BaselineCache, TrailingColumnsAreDiagnosedNotFatal) {
+  const auto path = corrupted_cache("baseline_trailing_test.csv",
+                                    [](std::string l) { return l + ",0.5"; });
+  EXPECT_FALSE(load_baseline_cache(path, sim::default_catalog(),
+                                   ConsolidationConfig{})
+                   .has_value());
+  std::remove(path.c_str());
 }
 
 TEST(DefaultCacheDir, EnvOverride) {

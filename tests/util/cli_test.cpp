@@ -73,5 +73,70 @@ TEST(CliArgs, OptionalGet) {
   EXPECT_FALSE(a.get("z").has_value());
 }
 
+// --- strict numeric parsing: no silent garbage -------------------------
+
+TEST(CliArgs, IntRejectsTrailingJunk) {
+  // The historical bug: strtol("4x") silently returned 4.
+  EXPECT_THROW(make({"p", "--jobs=4x"}).get_int("jobs", 0), CliError);
+  EXPECT_THROW(make({"p", "--jobs", "12 "}).get_int("jobs", 0), CliError);
+}
+
+TEST(CliArgs, IntRejectsNonNumeric) {
+  // And strtol("abc") silently returned 0.
+  EXPECT_THROW(make({"p", "--cores=abc"}).get_int("cores", 3), CliError);
+}
+
+TEST(CliArgs, IntRejectsOutOfRange) {
+  EXPECT_THROW(
+      make({"p", "--n=999999999999999999999999"}).get_int("n", 0), CliError);
+}
+
+TEST(CliArgs, IntAcceptsNegative) {
+  EXPECT_EQ(make({"p", "--n=-3"}).get_int("n", 0), -3);
+}
+
+TEST(CliArgs, DoubleRejectsTrailingJunk) {
+  EXPECT_THROW(make({"p", "--slo=0.9x"}).get_double("slo", 0.0), CliError);
+  EXPECT_THROW(make({"p", "--slo=1.5.2"}).get_double("slo", 0.0), CliError);
+  EXPECT_THROW(make({"p", "--slo=oops"}).get_double("slo", 0.0), CliError);
+}
+
+TEST(CliArgs, DoubleAcceptsScientific) {
+  EXPECT_DOUBLE_EQ(make({"p", "--bw=6.83e10"}).get_double("bw", 0.0), 6.83e10);
+}
+
+TEST(CliArgs, BoolRejectsUnknownSpelling) {
+  EXPECT_THROW(make({"p", "--b=maybe"}).get_bool("b", false), CliError);
+}
+
+TEST(CliArgs, ErrorMessageNamesFlagAndValue) {
+  try {
+    make({"p", "--jobs=4x"}).get_int("jobs", 0);
+    FAIL() << "expected CliError";
+  } catch (const CliError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("--jobs"), std::string::npos) << what;
+    EXPECT_NE(what.find("4x"), std::string::npos) << what;
+    EXPECT_NE(what.find("expected"), std::string::npos) << what;
+  }
+}
+
+TEST(CliMainGuard, TranslatesCliErrorToExitTwo) {
+  const int rc = cli_main_guard(
+      "prog", []() -> int { throw CliError("invalid value for --x"); });
+  EXPECT_EQ(rc, 2);
+}
+
+TEST(CliMainGuard, TranslatesOtherExceptionsToExitOne) {
+  const int rc = cli_main_guard(
+      "prog", []() -> int { throw std::runtime_error("boom"); });
+  EXPECT_EQ(rc, 1);
+}
+
+TEST(CliMainGuard, PassesThroughReturnCode) {
+  EXPECT_EQ(cli_main_guard("prog", [] { return 0; }), 0);
+  EXPECT_EQ(cli_main_guard("prog", [] { return 3; }), 3);
+}
+
 }  // namespace
 }  // namespace dicer::util

@@ -4,8 +4,10 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -55,6 +57,96 @@ TEST(ThreadPool, DrainsQueueOnDestruction) {
 
 TEST(ThreadPool, HardwareWorkersAtLeastOne) {
   EXPECT_GE(ThreadPool::hardware_workers(), 1u);
+}
+
+// --- resolve_jobs: explicit > env > hardware, with strict env parsing --
+
+namespace {
+
+/// Scoped setenv/unsetenv so tests cannot leak state into each other.
+class EnvGuard {
+ public:
+  EnvGuard(const char* name, const char* value) : name_(name) {
+    if (value) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~EnvGuard() { ::unsetenv(name_); }
+
+ private:
+  const char* name_;
+};
+
+constexpr const char* kVar = "DICER_TEST_JOBS";
+
+}  // namespace
+
+TEST(ResolveJobs, ExplicitRequestWins) {
+  EnvGuard env(kVar, "2");
+  EXPECT_EQ(ThreadPool::resolve_jobs(3, kVar), 3u);
+}
+
+TEST(ResolveJobs, ReadsEnvWhenUnrequested) {
+  // 2 is always under the clamp (4x hardware concurrency, >= 4).
+  EnvGuard env(kVar, "2");
+  EXPECT_EQ(ThreadPool::resolve_jobs(0, kVar), 2u);
+}
+
+TEST(ResolveJobs, UnsetEnvFallsBackToHardware) {
+  EnvGuard env(kVar, nullptr);
+  EXPECT_EQ(ThreadPool::resolve_jobs(0, kVar),
+            ThreadPool::hardware_workers());
+}
+
+TEST(ResolveJobs, RejectsPartialParse) {
+  // The historical bug: strtoul("4x") silently yielded 4 workers.
+  EnvGuard env(kVar, "4x");
+  EXPECT_EQ(ThreadPool::resolve_jobs(0, kVar),
+            ThreadPool::hardware_workers());
+}
+
+TEST(ResolveJobs, RejectsNonNumeric) {
+  EnvGuard env(kVar, "many");
+  EXPECT_EQ(ThreadPool::resolve_jobs(0, kVar),
+            ThreadPool::hardware_workers());
+}
+
+TEST(ResolveJobs, RejectsNegative) {
+  // strtoul("-1") wraps to ULONG_MAX; the sign must be rejected outright.
+  EnvGuard env(kVar, "-1");
+  EXPECT_EQ(ThreadPool::resolve_jobs(0, kVar),
+            ThreadPool::hardware_workers());
+}
+
+TEST(ResolveJobs, RejectsLeadingWhitespace) {
+  EnvGuard env(kVar, " 4");
+  EXPECT_EQ(ThreadPool::resolve_jobs(0, kVar),
+            ThreadPool::hardware_workers());
+}
+
+TEST(ResolveJobs, DiagnosesZero) {
+  EnvGuard env(kVar, "0");
+  EXPECT_EQ(ThreadPool::resolve_jobs(0, kVar),
+            ThreadPool::hardware_workers());
+}
+
+TEST(ResolveJobs, ClampsOversubscription) {
+  EnvGuard env(kVar, "1000000");
+  EXPECT_EQ(ThreadPool::resolve_jobs(0, kVar),
+            4u * ThreadPool::hardware_workers());
+}
+
+TEST(ResolveJobs, AcceptsSaneValueAtCap) {
+  const unsigned cap = 4u * ThreadPool::hardware_workers();
+  EnvGuard env(kVar, std::to_string(cap).c_str());
+  EXPECT_EQ(ThreadPool::resolve_jobs(0, kVar), cap);
+}
+
+TEST(ResolveJobs, NullEnvVarFallsBackToHardware) {
+  EXPECT_EQ(ThreadPool::resolve_jobs(0, nullptr),
+            ThreadPool::hardware_workers());
 }
 
 TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
