@@ -5,12 +5,20 @@
 //               [--policy DICER] [--cores 10] [--arrival-rate 40]
 //               [--mean-lifetime 8] [--slo 0.9] [--seed 42] [--jobs 0]
 //               [--catalog default|trace] [--csv fleet.csv]
-//               [--trace fleet.jsonl] [--compare]
+//               [--metrics-out metrics.prom] [--metrics-jsonl epochs.jsonl]
+//               [--trace fleet.jsonl] [--log-level info] [--profile]
+//               [--compare]
 //
 // Emits one CSV row per epoch (stdout, or --csv FILE) with the fleet
 // aggregates: tenant count, arrivals/departures/rejections/migrations,
-// fleet EFU, mean HP QoS, SLO-violation rate, mean link utilisation.
-// Same seed + config => byte-identical CSV at any --jobs.
+// fleet EFU, mean HP QoS, SLO-violation rate, mean link utilisation, plus
+// the EFU / HP-slowdown tail percentiles. Same seed + config =>
+// byte-identical CSV at any --jobs.
+//
+// --metrics-out writes the end-of-run telemetry registry (fleet
+// distributions, actuation counters, solver stats) in Prometheus text
+// format, atomically; --metrics-jsonl writes the per-epoch rows as a JSONL
+// time series. Both exports inherit the CSV's determinism contract.
 //
 // --compare re-runs the identical churn sequence under every placement
 // engine and prints a mean-EFU scoreboard — the "does MRC-aware placement
@@ -19,64 +27,27 @@
 #include <iostream>
 #include <ostream>
 
+#include "fleet_common.hpp"
 #include "fleet/cluster.hpp"
-#include "sim/core/trace_apps.hpp"
+#include "telemetry/exposition.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/trace_counter_sink.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
-#include "util/log.hpp"
 #include "util/table.hpp"
-#include "util/trace.hpp"
-
-namespace {
-
-dicer::fleet::FleetConfig config_from(const dicer::util::CliArgs& args) {
-  dicer::fleet::FleetConfig fc;
-  fc.num_machines = static_cast<unsigned>(args.get_int("machines", 500));
-  fc.cores_used = static_cast<unsigned>(args.get_int("cores", 10));
-  fc.policy = args.get_or("policy", "DICER");
-  fc.placement = args.get_or("placement", "mrc");
-  fc.epoch_sec = args.get_double("epoch", 1.0);
-  fc.slo_norm = args.get_double("slo", 0.90);
-  fc.migrate_after =
-      static_cast<unsigned>(args.get_int("migrate-after", 3));
-  fc.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
-  fc.jobs = static_cast<unsigned>(args.get_int("jobs", 0));
-  // Default churn: ~40 arrivals/s across the fleet with ~8 s lifetimes
-  // holds a 500-machine fleet around 320 concurrent tenants — busy enough
-  // that placement quality shows, loose enough that nothing is rejected
-  // wholesale.
-  fc.churn.arrival_rate_per_sec = args.get_double("arrival-rate", 40.0);
-  fc.churn.mean_lifetime_sec = args.get_double("mean-lifetime", 8.0);
-  fc.churn.seed = fc.seed + 1;
-  return fc;
-}
-
-}  // namespace
 
 static int run(int argc, char** argv) {
   using namespace dicer;
 
   const util::CliArgs args(argc, argv);
   const auto epochs = static_cast<std::uint64_t>(args.get_int("epochs", 20));
-  const std::string catalog_name = args.get_or("catalog", "default");
   const std::string csv_path = args.get_or("csv", "");
-  const std::string trace_path = args.get_or("trace", "");
+  const std::string metrics_path = args.get_or("metrics-out", "");
+  const std::string jsonl_path = args.get_or("metrics-jsonl", "");
 
-  if (catalog_name != "default" && catalog_name != "trace") {
-    throw util::CliError("invalid value for --catalog: '" + catalog_name +
-                         "' (expected default or trace)");
-  }
-  const sim::AppCatalog catalog = catalog_name == "trace"
-                                      ? sim::trace_augmented_catalog()
-                                      : sim::AppCatalog();
-
-  fleet::FleetConfig fc = config_from(args);
-
-  std::shared_ptr<trace::Sink> sink;
-  if (!trace_path.empty()) {
-    sink = trace::make_file_sink(trace_path);
-    trace::Tracer::global().add_sink(sink);
-  }
+  const sim::AppCatalog catalog = examples::catalog_from(args);
+  examples::FleetEnv env(args);
+  fleet::FleetConfig fc = examples::fleet_config_from(args);
 
   if (args.get_bool("compare", false)) {
     // Same churn + same fleet, one run per engine: the placement engine is
@@ -105,9 +76,18 @@ static int run(int argc, char** argv) {
     std::cout << "Fleet of " << fc.num_machines << " machines, " << epochs
               << " epochs, " << fc.policy << " policy:\n\n";
     table.print();
-    if (sink) trace::Tracer::global().remove_sink(sink);
     return 0;
   }
+
+  // A run-local registry keeps exports self-contained; the trace-counter
+  // sink turns the policies' existing event emission (allocations,
+  // sampling passes, donations, resets, placements, migrations) into
+  // actuation counters without touching the policy code.
+  telemetry::Registry registry;
+  auto counter_sink =
+      std::make_shared<telemetry::TraceCounterSink>(registry);
+  trace::Tracer::global().add_sink(counter_sink);
+  fc.metrics = &registry;
 
   fleet::Cluster cluster(fc, catalog);
 
@@ -120,14 +100,36 @@ static int run(int argc, char** argv) {
   }
   std::ostream& out = csv_path.empty() ? std::cout : file;
 
+  std::ofstream jsonl;
+  if (!jsonl_path.empty()) {
+    jsonl.open(jsonl_path);
+    if (!jsonl) {
+      throw std::runtime_error("cannot open --metrics-jsonl file '" +
+                               jsonl_path + "'");
+    }
+  }
+
   out << fleet::epoch_csv_header() << '\n';
   std::vector<fleet::EpochMetrics> rows;
   rows.reserve(epochs);
   for (std::uint64_t e = 0; e < epochs; ++e) {
     rows.push_back(cluster.step_epoch());
     out << fleet::epoch_csv_row(rows.back()) << '\n';
+    if (jsonl.is_open()) {
+      jsonl << fleet::epoch_jsonl_row(rows.back()) << '\n';
+    }
   }
+  trace::Tracer::global().remove_sink(counter_sink);
 
+  if (!metrics_path.empty()) {
+    telemetry::write_prometheus(registry, metrics_path);
+    std::cout << "wrote " << registry.size() << " metrics to "
+              << metrics_path << '\n';
+  }
+  if (!jsonl_path.empty()) {
+    std::cout << "wrote " << epochs << " epoch rows to " << jsonl_path
+              << '\n';
+  }
   if (!csv_path.empty()) {
     std::cout << "wrote " << epochs << " epochs to " << csv_path << '\n';
   }
@@ -136,7 +138,6 @@ static int run(int argc, char** argv) {
             << util::fmt_fixed(fleet::Cluster::mean_efu(rows), 4) << ", "
             << cluster.tenants_running() << " tenants running, "
             << cluster.placement_log().size() << " placement decisions\n";
-  if (sink) trace::Tracer::global().remove_sink(sink);
   return 0;
 }
 

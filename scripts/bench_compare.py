@@ -40,6 +40,11 @@ DEFAULT_BENCHES = [
     # reduction); the multi-worker variant's name depends on the runner's
     # core count, so only the /1 shard is pinned.
     "BM_FleetEpoch/1/real_time",
+    # Telemetry hot path and the fully-instrumented fleet epoch (registry
+    # + trace-counter sink); --overhead pins the latter's cost relative to
+    # the uninstrumented epoch.
+    "BM_MetricsRecord",
+    "BM_FleetEpochWithMetrics/1/real_time",
 ]
 
 _UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
@@ -82,6 +87,15 @@ def main(argv=None):
         help="pinned bench to compare (repeatable; default: the "
         "steady-state machine-step set)",
     )
+    ap.add_argument(
+        "--overhead",
+        action="append",
+        default=None,
+        metavar="BASE:WITH:MAXFRAC",
+        help="pin WITH <= (1 + MAXFRAC) * BASE within the *new* file "
+        "(repeatable) — e.g. the metrics-on fleet epoch against the "
+        "plain one",
+    )
     args = ap.parse_args(argv)
     benches = args.bench if args.bench else DEFAULT_BENCHES
 
@@ -113,6 +127,50 @@ def main(argv=None):
         print(
             f"{name:<{width}} {old[name]:>12.1f} {new[name]:>12.1f} "
             f"{ratio:>6.2f}x{flag}"
+        )
+
+    # Intra-file overhead pins: unlike the old-vs-new diff above, these
+    # compare two benches of the *current* run, so they hold even on the
+    # first run of a repository and are immune to runner-speed drift.
+    for spec in args.overhead or []:
+        parts = spec.rsplit(":", 2)
+        if len(parts) != 3:
+            print(
+                f"bench_compare: bad --overhead '{spec}' "
+                "(expected BASE:WITH:MAXFRAC)",
+                file=sys.stderr,
+            )
+            return 2
+        base_name, with_name, frac_s = parts
+        try:
+            max_frac = float(frac_s)
+        except ValueError:
+            print(
+                f"bench_compare: bad --overhead fraction '{frac_s}'",
+                file=sys.stderr,
+            )
+            return 2
+        missing = [n for n in (base_name, with_name) if n not in new]
+        if missing:
+            failed.append(
+                "overhead: missing from current results: " + ", ".join(missing)
+            )
+            continue
+        ratio = (
+            new[with_name] / new[base_name]
+            if new[base_name] > 0
+            else float("inf")
+        )
+        flag = ""
+        if ratio > 1.0 + max_frac:
+            flag = "  << OVERHEAD"
+            failed.append(
+                f"{with_name}: {ratio:.3f}x of {base_name} "
+                f"(limit {1.0 + max_frac:.3f}x)"
+            )
+        print(
+            f"overhead {with_name} / {base_name}: {ratio:.3f}x "
+            f"(limit {1.0 + max_frac:.3f}x){flag}"
         )
 
     if failed:

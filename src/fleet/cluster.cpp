@@ -9,6 +9,7 @@
 #include "policy/factory.hpp"
 #include "rdt/capability.hpp"
 #include "util/log.hpp"
+#include "util/timer.hpp"
 #include "util/trace.hpp"
 
 namespace dicer::fleet {
@@ -16,6 +17,15 @@ namespace dicer::fleet {
 namespace {
 
 constexpr double kEps = 1e-9;
+
+/// Ratio-valued distributions (EFU, normalised IPC, slowdown, link rho):
+/// ~6% relative resolution from 0.02 up past 6 — tight enough that the
+/// interpolated p50/p95/p99 columns track the exact sample percentiles.
+constexpr telemetry::HistogramSpec kRatioSpec{0.02, 1.06, 100};
+/// Tenant footprints: 64 KiB .. ~2.3 GiB.
+constexpr telemetry::HistogramSpec kBytesSpec{64.0 * 1024.0, 1.25, 48};
+/// Latencies denominated in simulated periods (epochs).
+constexpr telemetry::HistogramSpec kPeriodsSpec{0.25, 1.5, 24};
 
 std::string f17(double x) {
   char buf[64];
@@ -28,7 +38,9 @@ std::string f17(double x) {
 std::string epoch_csv_header() {
   return "epoch,t_sec,tenants,occupied_machines,arrivals,departures,"
          "rejected,migrations,fleet_efu,hp_norm_mean,slo_violations,"
-         "slo_violation_rate,link_rho_mean";
+         "slo_violation_rate,link_rho_mean,efu_p50,efu_p95,efu_p99,"
+         "hp_slowdown_p50,hp_slowdown_p95,hp_slowdown_p99,hp_slowdown_max,"
+         "slo_violation_rate_occupied";
 }
 
 std::string epoch_csv_row(const EpochMetrics& m) {
@@ -45,14 +57,51 @@ std::string epoch_csv_row(const EpochMetrics& m) {
   row += ',' + std::to_string(m.slo_violations);
   row += ',' + f17(m.slo_violation_rate);
   row += ',' + f17(m.link_rho_mean);
+  row += ',' + f17(m.efu_p50);
+  row += ',' + f17(m.efu_p95);
+  row += ',' + f17(m.efu_p99);
+  row += ',' + f17(m.hp_slowdown_p50);
+  row += ',' + f17(m.hp_slowdown_p95);
+  row += ',' + f17(m.hp_slowdown_p99);
+  row += ',' + f17(m.hp_slowdown_max);
+  row += ',' + f17(m.slo_violation_rate_occupied);
   return row;
+}
+
+std::string epoch_jsonl_row(const EpochMetrics& m) {
+  std::string out = "{\"epoch\":" + std::to_string(m.epoch);
+  out += ",\"t_sec\":" + f17(m.t_sec);
+  out += ",\"tenants\":" + std::to_string(m.tenants);
+  out += ",\"occupied_machines\":" + std::to_string(m.occupied_machines);
+  out += ",\"arrivals\":" + std::to_string(m.arrivals);
+  out += ",\"departures\":" + std::to_string(m.departures);
+  out += ",\"rejected\":" + std::to_string(m.rejected);
+  out += ",\"migrations\":" + std::to_string(m.migrations);
+  out += ",\"fleet_efu\":" + f17(m.fleet_efu);
+  out += ",\"hp_norm_mean\":" + f17(m.hp_norm_mean);
+  out += ",\"slo_violations\":" + std::to_string(m.slo_violations);
+  out += ",\"slo_violation_rate\":" + f17(m.slo_violation_rate);
+  out += ",\"link_rho_mean\":" + f17(m.link_rho_mean);
+  out += ",\"efu_p50\":" + f17(m.efu_p50);
+  out += ",\"efu_p95\":" + f17(m.efu_p95);
+  out += ",\"efu_p99\":" + f17(m.efu_p99);
+  out += ",\"hp_slowdown_p50\":" + f17(m.hp_slowdown_p50);
+  out += ",\"hp_slowdown_p95\":" + f17(m.hp_slowdown_p95);
+  out += ",\"hp_slowdown_p99\":" + f17(m.hp_slowdown_p99);
+  out += ",\"hp_slowdown_max\":" + f17(m.hp_slowdown_max);
+  out += ",\"slo_violation_rate_occupied\":" +
+         f17(m.slo_violation_rate_occupied);
+  out += '}';
+  return out;
 }
 
 Cluster::Cluster(const FleetConfig& config, const sim::AppCatalog& catalog)
     : config_(config),
       catalog_(&catalog),
       directory_(catalog, config.machine),
-      churn_(config.churn, catalog) {
+      churn_(config.churn, catalog),
+      epoch_efu_hist_(kRatioSpec),
+      epoch_slowdown_hist_(kRatioSpec) {
   if (config.num_machines == 0) {
     throw std::invalid_argument("Cluster: need at least one machine");
   }
@@ -79,6 +128,8 @@ Cluster::Cluster(const FleetConfig& config, const sim::AppCatalog& catalog)
   for (auto& node : nodes_) {
     boot_node(node, &catalog.at(rng.below(catalog.size())));
   }
+  epoch_stats_.reserve(nodes_.size());
+  bind_metrics();
   DICER_INFO << "fleet: booted " << nodes_.size() << " machines ("
              << config.policy << " policy, " << placement_->name()
              << " placement, " << jobs_ << " jobs)";
@@ -114,6 +165,65 @@ void Cluster::boot_node(Node& node, const sim::AppProfile* hp) {
 
   node.machine->attach(0, hp);
   node.policy->setup(node.ctx);
+}
+
+void Cluster::bind_metrics() {
+  telemetry::Registry* reg = config_.metrics;
+  if (!reg) return;
+  metrics_.efu = &reg->histogram("dicer_fleet_machine_efu", kRatioSpec,
+                                 "per-machine EFU, one sample per epoch");
+  metrics_.hp_norm =
+      &reg->histogram("dicer_fleet_hp_norm", kRatioSpec,
+                      "per-machine HP normalised IPC, one sample per epoch");
+  metrics_.hp_slowdown =
+      &reg->histogram("dicer_fleet_hp_slowdown", kRatioSpec,
+                      "per-machine HP slowdown (IPC_alone / IPC)");
+  metrics_.link_rho =
+      &reg->histogram("dicer_fleet_link_rho", kRatioSpec,
+                      "per-machine end-of-epoch memory link utilisation");
+  metrics_.tenant_footprint = &reg->histogram(
+      "dicer_fleet_tenant_footprint_bytes", kBytesSpec,
+      "footprint of each running BE tenant, one sample per epoch");
+  metrics_.placement_wait = &reg->histogram(
+      "dicer_fleet_placement_wait_periods", kPeriodsSpec,
+      "simulated periods between a tenant's arrival and its admission");
+  metrics_.migration_streak = &reg->histogram(
+      "dicer_fleet_migration_streak_periods", kPeriodsSpec,
+      "SLO-violating periods an HP endured before a migration fired");
+  metrics_.arrivals =
+      &reg->counter("dicer_fleet_arrivals_total", "BE tenant arrivals");
+  metrics_.departures =
+      &reg->counter("dicer_fleet_departures_total", "BE tenant departures");
+  metrics_.rejected = &reg->counter("dicer_fleet_rejected_total",
+                                    "arrivals with no feasible machine");
+  metrics_.migrations =
+      &reg->counter("dicer_fleet_migrations_total", "accepted BE migrations");
+  metrics_.slo_violations = &reg->counter(
+      "dicer_fleet_slo_violations_total", "machine-epochs under the HP SLO");
+  metrics_.epochs =
+      &reg->counter("dicer_fleet_epochs_total", "completed fleet epochs");
+  metrics_.tenants =
+      &reg->gauge("dicer_fleet_tenants_running", "BE tenants running now");
+  metrics_.occupied = &reg->gauge("dicer_fleet_occupied_machines",
+                                  "machines hosting >= 1 BE tenant");
+  metrics_.t_sec =
+      &reg->gauge("dicer_fleet_time_seconds", "simulated time at epoch end");
+  metrics_.solver_quanta = &reg->counter(
+      "dicer_solver_quanta_total", "machine quanta stepped fleet-wide");
+  metrics_.solver_replays = &reg->counter(
+      "dicer_solver_replays_total", "quanta served by steady-state replay");
+  metrics_.solver_solves = &reg->counter("dicer_solver_solves_total",
+                                         "quanta that ran the fixed point");
+  metrics_.solver_stable = &reg->counter(
+      "dicer_solver_stable_solves_total", "solves that exited bit-stable");
+  metrics_.solver_rounds = &reg->counter("dicer_solver_rounds_total",
+                                         "fixed-point rounds executed");
+  metrics_.solver_inv_actuator =
+      &reg->counter("dicer_solver_invalidations_actuator_total",
+                    "replay caches dropped by attach/detach/mask/throttle");
+  metrics_.solver_inv_fingerprint =
+      &reg->counter("dicer_solver_invalidations_fingerprint_total",
+                    "replay caches dropped by phase / active-set drift");
 }
 
 unsigned Cluster::lowest_free_core(const Node& node) const {
@@ -195,6 +305,7 @@ void Cluster::do_migrations(EpochMetrics& m) {
     }
     // Streak handled either way: a machine with nothing to migrate, or no
     // destination, re-arms rather than retrying every epoch.
+    const unsigned streak = src.slo_streak;
     src.slo_streak = 0;
     if (victim_core == 0) continue;
 
@@ -217,6 +328,9 @@ void Cluster::do_migrations(EpochMetrics& m) {
       rec.core = lowest_free_core(dst);
       admit(dst, rec.core, tenant);
       ++m.migrations;
+      if (metrics_.migration_streak) {
+        metrics_.migration_streak->record(static_cast<double>(streak));
+      }
       if (tr.enabled(trace::Kind::kMigration)) {
         tr.emit(trace::Kind::kMigration,
                 static_cast<double>(epoch_) * config_.epoch_sec,
@@ -246,6 +360,12 @@ void Cluster::do_arrivals(double epoch_end, EpochMetrics& m) {
       rec.machine = *dest;
       rec.core = lowest_free_core(dst);
       admit(dst, rec.core, {a.id, a.app, a.t_sec + a.lifetime_sec});
+      if (metrics_.placement_wait) {
+        // Arrivals drain at the epoch boundary, so a tenant waits from its
+        // arrival instant to the end of the epoch it lands in.
+        metrics_.placement_wait->record((epoch_end - a.t_sec) /
+                                        config_.epoch_sec);
+      }
     } else {
       ++m.rejected;
     }
@@ -261,6 +381,7 @@ void Cluster::do_arrivals(double epoch_end, EpochMetrics& m) {
 }
 
 void Cluster::step_all(double epoch_end) {
+  epoch_stats_.resize(nodes_.size());
   auto step_node = [&](std::size_t i) {
     Node& node = nodes_[i];
     sim::Machine& machine = *node.machine;
@@ -274,6 +395,7 @@ void Cluster::step_all(double epoch_end) {
       machine.run_until(std::min(machine.time_sec() + interval, epoch_end));
       node.policy->act(node.ctx);
     }
+    fill_epoch_stat(i);
   };
   if (!pool_ || nodes_.size() <= 1) {
     for (std::size_t i = 0; i < nodes_.size(); ++i) step_node(i);
@@ -282,41 +404,92 @@ void Cluster::step_all(double epoch_end) {
   }
 }
 
+void Cluster::fill_epoch_stat(std::size_t i) {
+  Node& node = nodes_[i];
+  MachineEpochStat st;
+  st.machine = static_cast<unsigned>(i);
+  st.hp = node.hp;
+  std::vector<metrics::IpcPair> pairs;
+  pairs.reserve(config_.cores_used);
+  for (unsigned c = 0; c < config_.cores_used; ++c) {
+    const auto& tel = node.machine->telemetry(c);
+    const double d_instr = tel.instructions - node.instr_base[c];
+    const double d_cycles = tel.active_cycles - node.cycles_base[c];
+    node.instr_base[c] = tel.instructions;
+    node.cycles_base[c] = tel.active_cycles;
+    const bool occupied = c == 0 || node.tenants[c].has_value();
+    if (c != 0 && node.tenants[c].has_value()) ++st.tenants;
+    if (!occupied || d_cycles <= 0.0) continue;
+    const double ipc = d_instr / d_cycles;
+    const double alone =
+        c == 0 ? directory_.signal(node.hp->name).ipc_alone
+               : directory_.signal(node.tenants[c]->app->name).ipc_alone;
+    pairs.push_back({alone, ipc});
+    if (c == 0 && alone > 0.0) {
+      st.hp_norm = ipc / alone;
+      st.hp_slowdown = ipc > 0.0 ? alone / ipc : 0.0;
+    }
+  }
+  st.efu = metrics::effective_utilisation(pairs);
+  st.link_rho = std::min(node.machine->last_link_utilisation(), 1.0);
+  st.slo_violated = st.hp_norm < config_.slo_norm;
+  epoch_stats_[i] = st;
+}
+
 void Cluster::reduce(EpochMetrics& m) {
   double efu_sum = 0.0;
   double hp_norm_sum = 0.0;
   double rho_sum = 0.0;
-  for (auto& node : nodes_) {
-    std::vector<metrics::IpcPair> pairs;
-    pairs.reserve(config_.cores_used);
-    double hp_norm = 0.0;
-    for (unsigned c = 0; c < config_.cores_used; ++c) {
-      const auto& tel = node.machine->telemetry(c);
-      const double d_instr = tel.instructions - node.instr_base[c];
-      const double d_cycles = tel.active_cycles - node.cycles_base[c];
-      node.instr_base[c] = tel.instructions;
-      node.cycles_base[c] = tel.active_cycles;
-      const bool occupied = c == 0 || node.tenants[c].has_value();
-      if (!occupied || d_cycles <= 0.0) continue;
-      const double ipc = d_instr / d_cycles;
-      const double alone =
-          c == 0 ? directory_.signal(node.hp->name).ipc_alone
-                 : directory_.signal(node.tenants[c]->app->name).ipc_alone;
-      pairs.push_back({alone, ipc});
-      if (c == 0) hp_norm = alone > 0.0 ? ipc / alone : 0.0;
-    }
-    efu_sum += metrics::effective_utilisation(pairs);
-    hp_norm_sum += hp_norm;
-    rho_sum += std::min(node.machine->last_link_utilisation(), 1.0);
-    if (hp_norm < config_.slo_norm) {
+  std::uint64_t occupied_violations = 0;
+  epoch_efu_hist_.reset();
+  epoch_slowdown_hist_.reset();
+  // Single-threaded fold over the shard outputs, strictly in machine-index
+  // order — sums and histogram `sum`s see one fixed operand order, so the
+  // row and every metrics export replay bit-for-bit at any worker count.
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    Node& node = nodes_[i];
+    const MachineEpochStat& st = epoch_stats_[i];
+    efu_sum += st.efu;
+    hp_norm_sum += st.hp_norm;
+    rho_sum += st.link_rho;
+    epoch_efu_hist_.record(st.efu);
+    if (st.hp_slowdown > 0.0) epoch_slowdown_hist_.record(st.hp_slowdown);
+    if (st.slo_violated) {
       ++m.slo_violations;
       ++node.slo_streak;
+      if (st.tenants > 0) ++occupied_violations;
     } else {
       node.slo_streak = 0;
     }
-    if (std::any_of(node.tenants.begin(), node.tenants.end(),
-                    [](const auto& t) { return t.has_value(); })) {
-      ++m.occupied_machines;
+    if (st.tenants > 0) ++m.occupied_machines;
+    if (config_.metrics) {
+      metrics_.efu->record(st.efu);
+      metrics_.hp_norm->record(st.hp_norm);
+      if (st.hp_slowdown > 0.0) {
+        metrics_.hp_slowdown->record(st.hp_slowdown);
+      }
+      metrics_.link_rho->record(st.link_rho);
+      for (unsigned c = 1; c < config_.cores_used; ++c) {
+        if (node.tenants[c]) {
+          metrics_.tenant_footprint->record(
+              directory_.signal(node.tenants[c]->app->name).footprint_bytes);
+        }
+      }
+      const sim::SolverStats& ss = node.machine->solver_stats();
+      metrics_.solver_quanta->inc(ss.quanta - node.solver_base.quanta);
+      metrics_.solver_replays->inc(ss.replays - node.solver_base.replays);
+      metrics_.solver_solves->inc(ss.solves - node.solver_base.solves);
+      metrics_.solver_stable->inc(ss.stable_solves -
+                                  node.solver_base.stable_solves);
+      metrics_.solver_rounds->inc(ss.total_rounds() -
+                                  node.solver_base.total_rounds());
+      metrics_.solver_inv_actuator->inc(
+          ss.invalidations_actuator -
+          node.solver_base.invalidations_actuator);
+      metrics_.solver_inv_fingerprint->inc(
+          ss.invalidations_fingerprint -
+          node.solver_base.invalidations_fingerprint);
+      node.solver_base = ss;
     }
   }
   const auto n = static_cast<double>(nodes_.size());
@@ -325,6 +498,29 @@ void Cluster::reduce(EpochMetrics& m) {
   m.hp_norm_mean = hp_norm_sum / n;
   m.slo_violation_rate = static_cast<double>(m.slo_violations) / n;
   m.link_rho_mean = rho_sum / n;
+  m.efu_p50 = epoch_efu_hist_.percentile(50.0);
+  m.efu_p95 = epoch_efu_hist_.percentile(95.0);
+  m.efu_p99 = epoch_efu_hist_.percentile(99.0);
+  m.hp_slowdown_p50 = epoch_slowdown_hist_.percentile(50.0);
+  m.hp_slowdown_p95 = epoch_slowdown_hist_.percentile(95.0);
+  m.hp_slowdown_p99 = epoch_slowdown_hist_.percentile(99.0);
+  m.hp_slowdown_max = epoch_slowdown_hist_.max();
+  m.slo_violation_rate_occupied =
+      m.occupied_machines
+          ? static_cast<double>(occupied_violations) /
+                static_cast<double>(m.occupied_machines)
+          : 0.0;
+  if (config_.metrics) {
+    metrics_.arrivals->inc(m.arrivals);
+    metrics_.departures->inc(m.departures);
+    metrics_.rejected->inc(m.rejected);
+    metrics_.migrations->inc(m.migrations);
+    metrics_.slo_violations->inc(m.slo_violations);
+    metrics_.epochs->inc();
+    metrics_.tenants->set(static_cast<double>(m.tenants));
+    metrics_.occupied->set(static_cast<double>(m.occupied_machines));
+    metrics_.t_sec->set(m.t_sec);
+  }
 }
 
 EpochMetrics Cluster::step_epoch() {
@@ -335,11 +531,25 @@ EpochMetrics Cluster::step_epoch() {
   m.epoch = epoch_;
   m.t_sec = epoch_end;
 
-  do_departures(epoch_start, m);
-  do_migrations(m);
-  do_arrivals(epoch_end, m);
-  step_all(epoch_end);
-  reduce(m);
+  // Wall-clock scopes land in TimerRegistry::global() (printed under
+  // --profile); kTimer trace emission stays mask-gated, so default traces
+  // and all exports remain deterministic.
+  auto* tr_timers = &trace::resolve(config_.tracer);
+  trace::ScopedTimer epoch_timer("fleet.epoch", tr_timers);
+  {
+    trace::ScopedTimer t("fleet.placement", tr_timers);
+    do_departures(epoch_start, m);
+    do_migrations(m);
+    do_arrivals(epoch_end, m);
+  }
+  {
+    trace::ScopedTimer t("fleet.step", tr_timers);
+    step_all(epoch_end);
+  }
+  {
+    trace::ScopedTimer t("fleet.reduce", tr_timers);
+    reduce(m);
+  }
 
   auto& tr = trace::resolve(config_.tracer);
   if (tr.enabled(trace::Kind::kFleetEpoch)) {

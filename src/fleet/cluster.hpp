@@ -14,12 +14,15 @@
 //      across a util::ThreadPool — machine i is task i, machines never
 //      interact mid-epoch, so any worker count replays the serial fleet
 //      bit-for-bit
-//   3. reduction (single-threaded, machine-index order): per-machine
-//      epoch EFU / HP QoS from telemetry deltas, folded into one
-//      EpochMetrics row
+//   3. reduction (single-threaded, machine-index order): each shard left a
+//      MachineEpochStat (EFU / HP QoS / link rho from telemetry deltas) in
+//      its machine's slot; the fold walks them in index order into one
+//      EpochMetrics row, the per-epoch percentile histograms and — when
+//      FleetConfig::metrics is set — the telemetry::Registry
 //
 // The determinism contract matches the sweep's: same (config, seed) =>
-// byte-identical per-epoch CSV and placement log at any `jobs`.
+// byte-identical per-epoch CSV, placement log and metrics exports
+// (Prometheus text, epoch JSONL) at any `jobs`.
 // Placement decisions, migrations and per-epoch aggregates are also
 // emitted as trace events (kPlacement / kMigration / kFleetEpoch) through
 // the dicer::trace sinks.
@@ -39,6 +42,8 @@
 #include "rdt/monitor.hpp"
 #include "sim/core/catalog.hpp"
 #include "sim/machine.hpp"
+#include "telemetry/histogram.hpp"
+#include "telemetry/registry.hpp"
 #include "util/thread_pool.hpp"
 
 namespace dicer::fleet {
@@ -60,6 +65,12 @@ struct FleetConfig {
   unsigned jobs = 0;                ///< stepping shards; 0 = auto
   /// Event sink (null = process-global tracer).
   trace::Tracer* tracer = nullptr;
+  /// Metrics registry for fleet-wide distributions, actuation counters and
+  /// per-machine solver stats (null = no metric recording). Per-machine
+  /// samples are produced by the stepping shards and folded into the
+  /// registry in machine-index order, so exports are byte-identical at any
+  /// `jobs` count.
+  telemetry::Registry* metrics = nullptr;
 };
 
 /// One epoch's fleet-level telemetry.
@@ -77,12 +88,46 @@ struct EpochMetrics {
   std::uint64_t slo_violations = 0;  ///< machines under slo_norm this epoch
   double slo_violation_rate = 0.0;   ///< slo_violations / num_machines
   double link_rho_mean = 0.0;    ///< mean end-of-epoch link utilisation
+  /// Tail statistics from the per-epoch histograms: a fleet can hold a
+  /// healthy *mean* EFU while a tail of machines burns their HP's SLO, so
+  /// the row carries the distribution, not just its first moment.
+  double efu_p50 = 0.0;
+  double efu_p95 = 0.0;
+  double efu_p99 = 0.0;
+  /// HP slowdown (IPC_alone / IPC, >= ~1 under contention) percentiles
+  /// over machines whose HP executed this epoch.
+  double hp_slowdown_p50 = 0.0;
+  double hp_slowdown_p95 = 0.0;
+  double hp_slowdown_p99 = 0.0;
+  double hp_slowdown_max = 0.0;
+  /// SLO violations among *occupied* machines / occupied machines — the
+  /// honest denominator (an idle machine cannot meaningfully violate).
+  /// `slo_violation_rate` keeps the historical all-machines denominator
+  /// for comparability with pre-existing CSVs.
+  double slo_violation_rate_occupied = 0.0;
 };
 
 /// Shared CSV shape for the per-epoch fleet metrics (full %.17g precision,
 /// so the jobs-invariance tests pin every bit).
 std::string epoch_csv_header();
 std::string epoch_csv_row(const EpochMetrics& m);
+/// The same row as one JSON object (fixed key order = CSV column order,
+/// %.17g doubles) — the per-epoch JSONL time series for offline plotting.
+std::string epoch_jsonl_row(const EpochMetrics& m);
+
+/// One machine's contribution to an epoch, computed by its stepping shard
+/// and folded fleet-wide in machine-index order. `fleet_top` ranks its
+/// worst-K table from these.
+struct MachineEpochStat {
+  unsigned machine = 0;
+  const sim::AppProfile* hp = nullptr;  ///< the machine's HP app
+  double efu = 0.0;          ///< per-machine EFU over the epoch
+  double hp_norm = 0.0;      ///< HP normalised IPC (0 if unmeasurable)
+  double hp_slowdown = 0.0;  ///< 1 / hp_norm (0 if unmeasurable)
+  double link_rho = 0.0;     ///< end-of-epoch link utilisation, capped at 1
+  unsigned tenants = 0;      ///< BE tenants at epoch end
+  bool slo_violated = false; ///< hp_norm < slo_norm
+};
 
 /// One placement-engine decision, in decision order (arrivals and
 /// migrations interleaved as they happened).
@@ -129,6 +174,11 @@ class Cluster {
   const std::vector<PlacementRecord>& placement_log() const noexcept {
     return placement_log_;
   }
+  /// Per-machine stats of the most recent epoch, in machine-index order
+  /// (empty until the first step_epoch()).
+  const std::vector<MachineEpochStat>& last_epoch_stats() const noexcept {
+    return epoch_stats_;
+  }
 
   /// Mean fleet EFU over a run's rows (0 for an empty run).
   static double mean_efu(const std::vector<EpochMetrics>& rows);
@@ -154,9 +204,40 @@ class Cluster {
     /// Telemetry baselines for epoch deltas, indexed by core.
     std::vector<double> instr_base;
     std::vector<double> cycles_base;
+    /// SolverStats scalars at the last registry fold (per-epoch deltas).
+    sim::SolverStats solver_base;
+  };
+
+  /// Registry handles resolved once at boot (all null when
+  /// config.metrics == nullptr).
+  struct MetricSet {
+    telemetry::Histogram* efu = nullptr;
+    telemetry::Histogram* hp_norm = nullptr;
+    telemetry::Histogram* hp_slowdown = nullptr;
+    telemetry::Histogram* link_rho = nullptr;
+    telemetry::Histogram* tenant_footprint = nullptr;
+    telemetry::Histogram* placement_wait = nullptr;
+    telemetry::Histogram* migration_streak = nullptr;
+    telemetry::Counter* arrivals = nullptr;
+    telemetry::Counter* departures = nullptr;
+    telemetry::Counter* rejected = nullptr;
+    telemetry::Counter* migrations = nullptr;
+    telemetry::Counter* slo_violations = nullptr;
+    telemetry::Counter* epochs = nullptr;
+    telemetry::Gauge* tenants = nullptr;
+    telemetry::Gauge* occupied = nullptr;
+    telemetry::Gauge* t_sec = nullptr;
+    telemetry::Counter* solver_quanta = nullptr;
+    telemetry::Counter* solver_replays = nullptr;
+    telemetry::Counter* solver_solves = nullptr;
+    telemetry::Counter* solver_stable = nullptr;
+    telemetry::Counter* solver_rounds = nullptr;
+    telemetry::Counter* solver_inv_actuator = nullptr;
+    telemetry::Counter* solver_inv_fingerprint = nullptr;
   };
 
   void boot_node(Node& node, const sim::AppProfile* hp);
+  void bind_metrics();
   /// Attach `tenant` to `core` of `node` (mask re-associated to the BE
   /// CLOS — Machine::detach reverts cores to the full mask).
   void admit(Node& node, unsigned core, const Tenant& tenant);
@@ -165,6 +246,9 @@ class Cluster {
   void do_migrations(EpochMetrics& m);
   void do_arrivals(double epoch_end, EpochMetrics& m);
   void step_all(double epoch_end);
+  /// Shard-local epoch stat for machine i (pure function of the node's own
+  /// state — runs on whichever worker stepped the machine).
+  void fill_epoch_stat(std::size_t i);
   void reduce(EpochMetrics& m);
 
   FleetConfig config_;
@@ -177,6 +261,14 @@ class Cluster {
   unsigned jobs_ = 1;
   std::uint64_t epoch_ = 0;
   std::vector<PlacementRecord> placement_log_;
+  /// Shard outputs, indexed by machine: each worker writes only its
+  /// machine's slot, the reduction reads them in index order.
+  std::vector<MachineEpochStat> epoch_stats_;
+  MetricSet metrics_;
+  /// Per-epoch distribution scratch behind the percentile CSV columns
+  /// (reset every reduction; independent of config.metrics).
+  telemetry::Histogram epoch_efu_hist_;
+  telemetry::Histogram epoch_slowdown_hist_;
 };
 
 }  // namespace dicer::fleet

@@ -1,0 +1,31 @@
+// Exposition formats for a telemetry::Registry.
+//
+// Prometheus text exposition, version 0.0.4: `# HELP` / `# TYPE` preamble
+// per metric, cumulative `_bucket{le="..."}` series plus `_sum`/`_count`
+// for histograms. Deterministic by construction: metrics walk in name
+// order, boundaries are pure functions of the histogram spec, and doubles
+// render as %.17g — so a byte-compare of two exports is a semantic
+// compare (the fleet's jobs-invariance tests rely on exactly this).
+#pragma once
+
+#include <string>
+
+#include "telemetry/registry.hpp"
+
+namespace dicer::telemetry {
+
+/// The whole registry as Prometheus text exposition.
+std::string to_prometheus(const Registry& registry);
+
+/// One JSON object ({"name":value,...} scalars; histograms as
+/// {"count":..,"sum":..,"min":..,"max":..,"p50":..,"p95":..,"p99":..}),
+/// keys in name order — a registry snapshot for JSONL time series.
+std::string to_json(const Registry& registry);
+
+/// Write `to_prometheus(registry)` to `path` atomically (temp file in the
+/// same directory, then rename — the sweep-cache pattern), so a scraper
+/// or interrupted run never sees a torn file. Throws std::runtime_error
+/// when the file cannot be written.
+void write_prometheus(const Registry& registry, const std::string& path);
+
+}  // namespace dicer::telemetry

@@ -1,0 +1,137 @@
+#include "telemetry/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace dicer::telemetry {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Lock-free monotone update: fold `value` into `slot` under `better`
+/// (e.g. std::less for a running min).
+template <typename Cmp>
+void atomic_fold(std::atomic<double>& slot, double value, Cmp better) {
+  double cur = slot.load(std::memory_order_relaxed);
+  while (better(value, cur) &&
+         !slot.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+Histogram::Histogram(const HistogramSpec& spec)
+    : spec_(spec), counts_(spec.buckets + 1) {
+  if (!spec.valid()) {
+    throw std::invalid_argument(
+        "Histogram: spec needs first_bound > 0, growth > 1, buckets in "
+        "[1, 4096]");
+  }
+  bounds_.reserve(spec_.buckets);
+  double bound = spec_.first_bound;
+  for (unsigned i = 0; i < spec_.buckets; ++i) {
+    bounds_.push_back(bound);
+    bound *= spec_.growth;
+  }
+  min_.store(kInf, std::memory_order_relaxed);
+  max_.store(-kInf, std::memory_order_relaxed);
+}
+
+unsigned Histogram::bucket_index(double value) const noexcept {
+  // First boundary >= value; NaN and sub-first_bound values land in
+  // bucket 0, values above the last finite boundary in the +Inf bucket.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  return static_cast<unsigned>(it - bounds_.begin());
+}
+
+void Histogram::record(double value) noexcept {
+  counts_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  atomic_fold(min_, value, std::less<double>{});
+  atomic_fold(max_, value, std::greater<double>{});
+}
+
+void Histogram::merge_from(const Histogram& other) {
+  if (!(other.spec_ == spec_)) {
+    throw std::invalid_argument("Histogram::merge_from: spec mismatch");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i].fetch_add(other.counts_[i].load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count(), std::memory_order_relaxed);
+  sum_.fetch_add(other.sum(), std::memory_order_relaxed);
+  atomic_fold(min_, other.min_.load(std::memory_order_relaxed),
+              std::less<double>{});
+  atomic_fold(max_, other.max_.load(std::memory_order_relaxed),
+              std::greater<double>{});
+}
+
+void Histogram::reset() noexcept {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(kInf, std::memory_order_relaxed);
+  max_.store(-kInf, std::memory_order_relaxed);
+}
+
+double Histogram::upper_bound(unsigned i) const noexcept {
+  return i < spec_.buckets ? bounds_[i] : kInf;
+}
+
+std::uint64_t Histogram::bucket_count(unsigned i) const noexcept {
+  return i < counts_.size() ? counts_[i].load(std::memory_order_relaxed) : 0;
+}
+
+double Histogram::min() const noexcept {
+  return count() ? min_.load(std::memory_order_relaxed) : 0.0;
+}
+
+double Histogram::max() const noexcept {
+  return count() ? max_.load(std::memory_order_relaxed) : 0.0;
+}
+
+double Histogram::mean() const noexcept {
+  const std::uint64_t n = count();
+  return n ? sum() / static_cast<double>(n) : 0.0;
+}
+
+double Histogram::percentile(double p) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  // util::stats::percentile's rank convention on the (virtual) sorted
+  // sample: the target sits at fractional index p/100 * (n-1).
+  const double rank = p / 100.0 * static_cast<double>(n - 1);
+
+  const double lo_sample = min();
+  const double hi_sample = max();
+  std::uint64_t before = 0;  // samples in buckets below `b`
+  for (unsigned b = 0; b < counts_.size(); ++b) {
+    const std::uint64_t in_bucket =
+        counts_[b].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    if (rank < static_cast<double>(before + in_bucket)) {
+      // Interpolate linearly inside the bucket, clamped to the observed
+      // sample range so single-bucket distributions report exact values.
+      double lo = b == 0 ? lo_sample : upper_bound(b - 1);
+      double hi = b < spec_.buckets ? upper_bound(b) : hi_sample;
+      lo = std::max(lo, lo_sample);
+      hi = std::min(hi, hi_sample);
+      if (hi <= lo) return lo;
+      const double frac = in_bucket == 1
+                              ? 0.0
+                              : (rank - static_cast<double>(before)) /
+                                    static_cast<double>(in_bucket - 1);
+      return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+    }
+    before += in_bucket;
+  }
+  return hi_sample;  // p == 100 lands past the last counted sample
+}
+
+}  // namespace dicer::telemetry

@@ -1,0 +1,37 @@
+// Bridges the dicer::trace event stream into telemetry counters.
+//
+// Policies already narrate every actuation as typed trace events (mask
+// writes land as kAllocation, CT-T reclassifications as kSampling*,
+// donations/resets likewise), so fleet-scale actuation accounting needs no
+// new emission sites: attach a TraceCounterSink to the tracer the policies
+// use and every delivered event bumps a per-kind counter
+// (`dicer_events_<kind>_total`).
+//
+// Determinism: counter increments are commutative integer adds, and each
+// machine's policy emits a fixed event sequence regardless of how the data
+// plane is sharded — so the totals are identical at any worker count even
+// though emission order is not. kTimer events are ignored (they carry
+// wall-clock durations and exist outside the deterministic contract).
+#pragma once
+
+#include <array>
+
+#include "telemetry/registry.hpp"
+#include "util/trace.hpp"
+
+namespace dicer::telemetry {
+
+class TraceCounterSink final : public trace::Sink {
+ public:
+  /// Registers one counter per event kind in `registry` (which must
+  /// outlive the sink).
+  explicit TraceCounterSink(Registry& registry);
+
+  void write(const trace::Event& event) override;
+
+ private:
+  std::array<Counter*, static_cast<std::size_t>(trace::Kind::kCount)>
+      counters_{};
+};
+
+}  // namespace dicer::telemetry

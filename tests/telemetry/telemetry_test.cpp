@@ -1,0 +1,331 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "telemetry/exposition.hpp"
+#include "telemetry/histogram.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/trace_counter_sink.hpp"
+#include "util/stats.hpp"
+#include "util/trace.hpp"
+
+namespace dicer::telemetry {
+namespace {
+
+TEST(TelemetryHistogram, BoundariesAreGeometric) {
+  HistogramSpec spec;
+  spec.first_bound = 0.5;
+  spec.growth = 2.0;
+  spec.buckets = 4;
+  Histogram h(spec);
+  EXPECT_DOUBLE_EQ(h.upper_bound(0), 0.5);
+  EXPECT_DOUBLE_EQ(h.upper_bound(1), 1.0);
+  EXPECT_DOUBLE_EQ(h.upper_bound(2), 2.0);
+  EXPECT_DOUBLE_EQ(h.upper_bound(3), 4.0);
+  EXPECT_TRUE(std::isinf(h.upper_bound(4)));
+  EXPECT_EQ(h.num_buckets(), 4u);
+}
+
+TEST(TelemetryHistogram, RejectsInvalidSpec) {
+  HistogramSpec bad;
+  bad.growth = 1.0;  // must be > 1
+  EXPECT_THROW(Histogram{bad}, std::invalid_argument);
+  bad = HistogramSpec{};
+  bad.first_bound = 0.0;
+  EXPECT_THROW(Histogram{bad}, std::invalid_argument);
+  bad = HistogramSpec{};
+  bad.buckets = 0;
+  EXPECT_THROW(Histogram{bad}, std::invalid_argument);
+}
+
+TEST(TelemetryHistogram, LeSemanticsMatchPrometheus) {
+  HistogramSpec spec;
+  spec.first_bound = 1.0;
+  spec.growth = 2.0;
+  spec.buckets = 3;  // bounds 1, 2, 4, +Inf
+  Histogram h(spec);
+  h.record(1.0);  // le="1": on the boundary lands below it
+  h.record(1.5);  // le="2"
+  h.record(4.0);  // le="4"
+  h.record(5.0);  // +Inf
+  h.record(0.1);  // le="1"
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.bucket_count(3), 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 11.6);
+  EXPECT_DOUBLE_EQ(h.min(), 0.1);
+  EXPECT_DOUBLE_EQ(h.max(), 5.0);
+}
+
+TEST(TelemetryHistogram, EmptyHistogramIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 0.0);
+}
+
+// The histogram answers percentile queries from bucket counts alone, so it
+// can only be exact to a bucket's width — but the rank convention matches
+// util::stats::percentile, so on a dense sample the two agree to within
+// one bucket's relative resolution.
+TEST(TelemetryHistogram, PercentileTracksExactStats) {
+  HistogramSpec spec;
+  spec.first_bound = 0.02;
+  spec.growth = 1.06;
+  spec.buckets = 100;
+  Histogram h(spec);
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) {
+    // Smooth monotone ramp over [0.1, ~2.1].
+    const double v = 0.1 + 2.0 * static_cast<double>(i) / 999.0;
+    xs.push_back(v);
+    h.record(v);
+  }
+  for (double p : {10.0, 50.0, 90.0, 95.0, 99.0}) {
+    const double exact = util::percentile(xs, p);
+    const double approx = h.percentile(p);
+    // One bucket's relative width (growth - 1) plus interpolation slack.
+    EXPECT_NEAR(approx, exact, exact * (spec.growth - 1.0) + 1e-9)
+        << "p" << p;
+  }
+  // The extremes clamp to the observed min/max exactly.
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.1);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), h.max());
+}
+
+TEST(TelemetryHistogram, MergeIsAssociativeOnCounts) {
+  HistogramSpec spec;
+  spec.first_bound = 0.1;
+  spec.growth = 1.5;
+  spec.buckets = 16;
+  Histogram a(spec), b(spec), c(spec);
+  Histogram ab_c(spec), a_bc(spec);
+  const std::vector<double> va{0.05, 0.2, 1.7};
+  const std::vector<double> vb{0.9, 0.9, 44.0};
+  const std::vector<double> vc{0.3};
+  for (double v : va) a.record(v);
+  for (double v : vb) b.record(v);
+  for (double v : vc) c.record(v);
+
+  // (a + b) + c
+  ab_c.merge_from(a);
+  ab_c.merge_from(b);
+  ab_c.merge_from(c);
+  // a + (b + c)
+  Histogram bc(spec);
+  bc.merge_from(b);
+  bc.merge_from(c);
+  a_bc.merge_from(a);
+  a_bc.merge_from(bc);
+
+  for (unsigned i = 0; i <= spec.buckets; ++i) {
+    EXPECT_EQ(ab_c.bucket_count(i), a_bc.bucket_count(i)) << "bucket " << i;
+  }
+  EXPECT_EQ(ab_c.count(), 7u);
+  EXPECT_EQ(a_bc.count(), 7u);
+  EXPECT_DOUBLE_EQ(ab_c.min(), 0.05);
+  EXPECT_DOUBLE_EQ(ab_c.max(), 44.0);
+  // FP sums agree to rounding (not necessarily bit-equal across orders).
+  EXPECT_NEAR(ab_c.sum(), a_bc.sum(), 1e-9);
+}
+
+TEST(TelemetryHistogram, MergeRejectsSpecMismatch) {
+  Histogram a;  // default spec
+  HistogramSpec other;
+  other.buckets = 7;
+  Histogram b(other);
+  EXPECT_THROW(a.merge_from(b), std::invalid_argument);
+}
+
+TEST(TelemetryHistogram, ResetZeroesEverything) {
+  Histogram h;
+  h.record(0.5);
+  h.record(2.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  for (unsigned i = 0; i <= h.num_buckets(); ++i) {
+    EXPECT_EQ(h.bucket_count(i), 0u);
+  }
+}
+
+TEST(TelemetryRegistry, RegisterOrFetchIsIdempotent) {
+  Registry r;
+  Counter& c1 = r.counter("dicer_x_total", "help");
+  Counter& c2 = r.counter("dicer_x_total");
+  EXPECT_EQ(&c1, &c2);
+  c1.inc(3);
+  EXPECT_EQ(c2.value(), 3u);
+  Gauge& g1 = r.gauge("dicer_g");
+  EXPECT_EQ(&g1, &r.gauge("dicer_g"));
+  Histogram& h1 = r.histogram("dicer_h");
+  EXPECT_EQ(&h1, &r.histogram("dicer_h"));
+  EXPECT_EQ(r.size(), 3u);
+}
+
+TEST(TelemetryRegistry, TypeConflictThrows) {
+  Registry r;
+  r.counter("dicer_x");
+  EXPECT_THROW(r.gauge("dicer_x"), std::invalid_argument);
+  EXPECT_THROW(r.histogram("dicer_x"), std::invalid_argument);
+  r.histogram("dicer_h");
+  HistogramSpec other;
+  other.buckets = 5;
+  EXPECT_THROW(r.histogram("dicer_h", other), std::invalid_argument);
+}
+
+TEST(TelemetryRegistry, BadNameThrows) {
+  Registry r;
+  EXPECT_THROW(r.counter(""), std::invalid_argument);
+  EXPECT_THROW(r.counter("9starts_with_digit"), std::invalid_argument);
+  EXPECT_THROW(r.counter("has-dash"), std::invalid_argument);
+  EXPECT_THROW(r.counter("has space"), std::invalid_argument);
+  r.counter("ok_name:with_colon_0");  // full Prometheus charset
+}
+
+TEST(TelemetryRegistry, EntriesAreNameSorted) {
+  Registry r;
+  r.counter("zzz_total");
+  r.gauge("aaa");
+  r.histogram("mmm");
+  const auto entries = r.entries();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].name, "aaa");
+  EXPECT_EQ(entries[1].name, "mmm");
+  EXPECT_EQ(entries[2].name, "zzz_total");
+  EXPECT_NE(entries[0].gauge, nullptr);
+  EXPECT_NE(entries[1].histogram, nullptr);
+  EXPECT_NE(entries[2].counter, nullptr);
+}
+
+TEST(TelemetryRegistry, MergeFoldsShards) {
+  Registry total, shard;
+  total.counter("events_total").inc(2);
+  shard.counter("events_total").inc(5);
+  shard.gauge("level").set(1.5);
+  shard.histogram("dist").record(0.4);
+  total.merge_from(shard);
+  EXPECT_EQ(total.counter("events_total").value(), 7u);
+  EXPECT_DOUBLE_EQ(total.gauge("level").value(), 1.5);
+  EXPECT_EQ(total.histogram("dist").count(), 1u);
+}
+
+TEST(TelemetryExposition, PrometheusFormat) {
+  Registry r;
+  r.counter("dicer_ops_total", "operations").inc(42);
+  r.gauge("dicer_level").set(0.5);
+  HistogramSpec spec;
+  spec.first_bound = 1.0;
+  spec.growth = 2.0;
+  spec.buckets = 2;  // bounds 1, 2, +Inf
+  auto& h = r.histogram("dicer_lat", spec, "latency");
+  h.record(0.5);
+  h.record(3.0);
+  const std::string text = to_prometheus(r);
+  EXPECT_NE(text.find("# HELP dicer_ops_total operations\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE dicer_ops_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("dicer_ops_total 42\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE dicer_level gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE dicer_lat histogram\n"), std::string::npos);
+  // Cumulative buckets: le="1" holds 1, le="2" still 1, +Inf all 2.
+  EXPECT_NE(text.find("dicer_lat_bucket{le=\"1\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("dicer_lat_bucket{le=\"2\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("dicer_lat_bucket{le=\"+Inf\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("dicer_lat_sum 3.5\n"), std::string::npos);
+  EXPECT_NE(text.find("dicer_lat_count 2\n"), std::string::npos);
+  // Name order: dicer_lat block comes before dicer_level before ops.
+  EXPECT_LT(text.find("dicer_lat_bucket"), text.find("dicer_level"));
+  EXPECT_LT(text.find("dicer_level"), text.find("dicer_ops_total 42"));
+}
+
+TEST(TelemetryExposition, JsonSnapshot) {
+  Registry r;
+  r.counter("c_total").inc(7);
+  r.gauge("g").set(2.5);
+  r.histogram("h").record(1.0);
+  const std::string json = to_json(r);
+  EXPECT_NE(json.find("\"c_total\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"g\":2.5"), std::string::npos);
+  EXPECT_NE(json.find("\"h\":{\"count\":1"), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(TelemetryExposition, WritePrometheusIsAtomicAndReadable) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "dicer_telemetry_test";
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "metrics.prom").string();
+  Registry r;
+  r.counter("x_total").inc(1);
+  write_prometheus(r, path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, to_prometheus(r));
+  // No temp droppings left next to the output.
+  std::size_t files = 0;
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    (void)e;
+    ++files;
+  }
+  EXPECT_EQ(files, 1u);
+  std::filesystem::remove_all(dir);
+  // Unwritable directory reports, not corrupts.
+  EXPECT_THROW(write_prometheus(r, "/nonexistent_dir_zz/m.prom"),
+               std::runtime_error);
+}
+
+TEST(TelemetryTraceCounterSink, CountsEventsPerKind) {
+  Registry r;
+  trace::Tracer tracer;
+  auto sink = std::make_shared<TraceCounterSink>(r);
+  tracer.add_sink(sink);
+  tracer.emit(trace::Kind::kAllocation, 0.0, {{"hp_ways", 10}});
+  tracer.emit(trace::Kind::kAllocation, 0.1, {{"hp_ways", 11}});
+  tracer.emit(trace::Kind::kMigration, 0.2, {});
+  tracer.remove_sink(sink);
+  EXPECT_EQ(r.counter("dicer_events_allocation_total").value(), 2u);
+  EXPECT_EQ(r.counter("dicer_events_migration_total").value(), 1u);
+  EXPECT_EQ(r.counter("dicer_events_placement_total").value(), 0u);
+  // After removal the sink no longer counts.
+  tracer.emit(trace::Kind::kAllocation, 0.3, {});
+  EXPECT_EQ(r.counter("dicer_events_allocation_total").value(), 2u);
+}
+
+TEST(TelemetryTraceCounterSink, TimerEventsAreIgnored) {
+  Registry r;
+  TraceCounterSink sink(r);
+  // kTimer carries wall-clock durations — nondeterministic, so the sink
+  // must neither register nor count it.
+  for (const auto& e : r.entries()) {
+    EXPECT_EQ(e.name.find("timer"), std::string::npos) << e.name;
+  }
+  trace::Event ev;
+  ev.kind = trace::Kind::kTimer;
+  sink.write(ev);  // must not crash or count anything
+  std::uint64_t total = 0;
+  for (const auto& e : r.entries()) total += e.counter->value();
+  EXPECT_EQ(total, 0u);
+}
+
+}  // namespace
+}  // namespace dicer::telemetry
