@@ -17,6 +17,7 @@
 #include "sim/cache/set_assoc_cache.hpp"
 #include "sim/core/catalog.hpp"
 #include "sim/machine.hpp"
+#include "sim/machine_batch.hpp"
 #include "telemetry/registry.hpp"
 #include "telemetry/trace_counter_sink.hpp"
 #include "util/rng.hpp"
@@ -144,6 +145,81 @@ void BM_MachineStepNoShortcuts(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
 }
 BENCHMARK(BM_MachineStepNoShortcuts);
+
+// Fixture for the batched-stepping pair: single-phase apps keep every
+// machine in steady-state replay, the regime MachineBatch accelerates.
+std::vector<sim::AppProfile>& steady_profiles() {
+  static std::vector<sim::AppProfile> profiles = [] {
+    const auto& catalog = sim::default_catalog();
+    std::vector<sim::AppProfile> ps;
+    for (unsigned c = 0; c < 10; ++c) {
+      sim::AppProfile p = catalog.at(c * 5);
+      p.phases.resize(1);
+      ps.push_back(std::move(p));
+    }
+    return ps;
+  }();
+  return profiles;
+}
+
+constexpr unsigned kBatchBenchMachines = 8;
+// One policy control interval — the granularity both real consumers (the
+// sweep's run_consolidation_batch, the fleet data plane) drive lanes at.
+constexpr unsigned kBatchBenchQuanta = 10;
+
+// Serial baseline for BM_MachineStepBatched: the same 8 machines x 10
+// steady-state apps advanced one control interval (10 quanta) per machine
+// per iteration through Machine::run_for — the exact call shape the sweep
+// and fleet data planes use. Items are machine-quanta, so time-per-item
+// compares directly against the batched run; bench_compare.py pins
+// batched >= 2x faster than this.
+void BM_MachineStepSerial(benchmark::State& state) {
+  auto& profiles = steady_profiles();
+  const double interval = sim::MachineConfig{}.quantum_sec * kBatchBenchQuanta;
+  std::vector<std::unique_ptr<sim::Machine>> machines;
+  for (unsigned m = 0; m < kBatchBenchMachines; ++m) {
+    machines.push_back(std::make_unique<sim::Machine>(sim::MachineConfig{}));
+    for (unsigned c = 0; c < 10; ++c) machines[m]->attach(c, &profiles[c]);
+  }
+  for (auto _ : state) {
+    for (auto& m : machines) m->run_for(interval);
+    benchmark::DoNotOptimize(machines[0]->telemetry(0).instructions);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          kBatchBenchMachines * kBatchBenchQuanta);
+}
+BENCHMARK(BM_MachineStepSerial);
+
+// The same 8 machines x 10 quanta through one MachineBatch: shared phase
+// table, fused replay commits, whole intervals committed by the budgeted
+// bulk path. fused_pct should sit near 100 — a low value means the lanes
+// keep falling off the fast path and the comparison is measuring fallback
+// steps, not the SoA engine.
+void BM_MachineStepBatched(benchmark::State& state) {
+  auto& profiles = steady_profiles();
+  const double interval = sim::MachineConfig{}.quantum_sec * kBatchBenchQuanta;
+  std::vector<std::unique_ptr<sim::Machine>> machines;
+  sim::MachineBatch batch;
+  for (unsigned m = 0; m < kBatchBenchMachines; ++m) {
+    machines.push_back(std::make_unique<sim::Machine>(sim::MachineConfig{}));
+    for (unsigned c = 0; c < 10; ++c) machines[m]->attach(c, &profiles[c]);
+    batch.add(*machines[m]);
+  }
+  for (auto _ : state) {
+    for (unsigned m = 0; m < kBatchBenchMachines; ++m) batch.run_for(m, interval);
+    benchmark::DoNotOptimize(machines[0]->telemetry(0).instructions);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          kBatchBenchMachines * kBatchBenchQuanta);
+  const auto& bs = batch.stats();
+  const auto total = bs.fused_quanta + bs.fallback_steps;
+  state.counters["fused_pct"] =
+      100.0 * static_cast<double>(bs.fused_quanta) /
+      static_cast<double>(std::max<std::uint64_t>(total, 1));
+  state.counters["shared_phases"] =
+      static_cast<double>(batch.shared_phase_count());
+}
+BENCHMARK(BM_MachineStepBatched);
 
 // A long consolidation-shaped run: 100 quanta (one 1 s control period)
 // per iteration, crossing app phase boundaries and completions — the
@@ -345,6 +421,53 @@ BENCHMARK(BM_PolicySweep)
     })
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
+
+// The BM_PolicySweep grid on one worker with a fixed cell chunking —
+// jobs held at 1 so the BM_SweepSerialCells / BM_SweepBatched delta
+// isolates the MachineBatch engine from thread scaling (which
+// BM_PolicySweep already covers). Rows are byte-identical either way.
+std::vector<harness::BaselineEntry> sweep_bench_sample() {
+  const auto& catalog = sim::default_catalog();
+  std::vector<harness::BaselineEntry> sample;
+  for (std::size_t i = 0; i + 1 < catalog.size() && sample.size() < 6;
+       i += 9) {
+    harness::BaselineEntry e;
+    e.spec = {catalog.at(i).name, catalog.at(i + 1).name};
+    e.hp_alone_ipc = 3.0;
+    e.be_alone_ipc = 3.0;
+    e.um_hp_ipc = 2.7;
+    e.ct_hp_ipc = 2.85;
+    sample.push_back(e);
+  }
+  return sample;
+}
+
+void sweep_cells_bench(benchmark::State& state, unsigned batch_cells) {
+  const auto& catalog = sim::default_catalog();
+  const auto sample = sweep_bench_sample();
+  harness::SweepConfig sc;
+  sc.cores = {3, 6, 10};
+  sc.jobs = 1;
+  sc.batch_cells = batch_cells;
+  const auto cells = sample.size() * sc.cores.size() * sc.policies.size();
+  for (auto _ : state) {
+    auto rows = harness::policy_sweep(catalog, sample, sc, /*cache_path=*/"");
+    benchmark::DoNotOptimize(rows.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(cells));
+  state.counters["cells"] = static_cast<double>(cells);
+  state.counters["batch_cells"] = static_cast<double>(sc.batch_cells);
+}
+
+void BM_SweepSerialCells(benchmark::State& state) {
+  sweep_cells_bench(state, /*batch_cells=*/1);
+}
+BENCHMARK(BM_SweepSerialCells)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+void BM_SweepBatched(benchmark::State& state) {
+  sweep_cells_bench(state, /*batch_cells=*/8);
+}
+BENCHMARK(BM_SweepBatched)->UseRealTime()->Unit(benchmark::kMillisecond);
 
 // One fleet epoch over 64 DICER machines under churn: the control plane
 // (departures/migrations/placement), the sharded data-plane step and the

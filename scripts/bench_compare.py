@@ -33,6 +33,12 @@ DEFAULT_BENCHES = [
     "BM_MachineStep10Apps",
     "BM_MachineStepPartitioned",
     "BM_MachineRunPeriod",
+    # The batched-stepping pair: serial baseline and the MachineBatch fused
+    # path over the same 8 machines; --speedup pins batched >= 2x faster.
+    "BM_MachineStepSerial",
+    "BM_MachineStepBatched",
+    # The sweep's chunked workers through run_consolidation_batch.
+    "BM_SweepBatched/real_time",
     "BM_ProfileMrcExact",
     "BM_ProfileMrcSinglePass",
     "BM_ProfileMrcSampled",
@@ -96,6 +102,15 @@ def main(argv=None):
         "(repeatable) — e.g. the metrics-on fleet epoch against the "
         "plain one",
     )
+    ap.add_argument(
+        "--speedup",
+        action="append",
+        default=None,
+        metavar="BASE:FAST:MINRATIO",
+        help="pin BASE >= MINRATIO * FAST within the *new* file "
+        "(repeatable) — e.g. the batched machine step against its serial "
+        "baseline",
+    )
     args = ap.parse_args(argv)
     benches = args.bench if args.bench else DEFAULT_BENCHES
 
@@ -118,6 +133,15 @@ def main(argv=None):
             continue
         if name not in old:
             print(f"{name:<{width}} {'-':>12} {new[name]:>12.1f} {'new':>7}")
+            # Loud but non-fatal: a fresh baseline (new bench, renamed
+            # bench, first run) is expected once — but a *silent* skip
+            # would let a renamed bench drop out of regression coverage
+            # forever.
+            print(
+                f"bench_compare: WARNING: {name} missing from baseline "
+                f"{args.old} — no regression check this run",
+                file=sys.stderr,
+            )
             continue
         ratio = new[name] / old[name] if old[name] > 0 else float("inf")
         flag = ""
@@ -171,6 +195,51 @@ def main(argv=None):
         print(
             f"overhead {with_name} / {base_name}: {ratio:.3f}x "
             f"(limit {1.0 + max_frac:.3f}x){flag}"
+        )
+
+    # Intra-file speedup pins: the optimised bench must stay at least
+    # MINRATIO x faster than its serial baseline in the same run — the
+    # forward-looking guarantee an optimisation PR ships with, independent
+    # of any archived baseline.
+    for spec in args.speedup or []:
+        parts = spec.rsplit(":", 2)
+        if len(parts) != 3:
+            print(
+                f"bench_compare: bad --speedup '{spec}' "
+                "(expected BASE:FAST:MINRATIO)",
+                file=sys.stderr,
+            )
+            return 2
+        base_name, fast_name, ratio_s = parts
+        try:
+            min_ratio = float(ratio_s)
+        except ValueError:
+            print(
+                f"bench_compare: bad --speedup ratio '{ratio_s}'",
+                file=sys.stderr,
+            )
+            return 2
+        missing = [n for n in (base_name, fast_name) if n not in new]
+        if missing:
+            failed.append(
+                "speedup: missing from current results: " + ", ".join(missing)
+            )
+            continue
+        ratio = (
+            new[base_name] / new[fast_name]
+            if new[fast_name] > 0
+            else float("inf")
+        )
+        flag = ""
+        if ratio < min_ratio:
+            flag = "  << TOO SLOW"
+            failed.append(
+                f"{fast_name}: only {ratio:.2f}x faster than {base_name} "
+                f"(needs >= {min_ratio:.2f}x)"
+            )
+        print(
+            f"speedup {base_name} / {fast_name}: {ratio:.2f}x "
+            f"(needs >= {min_ratio:.2f}x){flag}"
         )
 
     if failed:

@@ -63,6 +63,14 @@ struct FleetConfig {
   ChurnConfig churn{};
   std::uint64_t seed = 42;          ///< HP assignment + random placement
   unsigned jobs = 0;                ///< stepping shards; 0 = auto
+  /// Machines per data-plane batch: each stepping task advances one
+  /// sim::MachineBatch (a contiguous machine slice sharing a phase table
+  /// and the fused replay path) instead of a single machine. 0 = auto,
+  /// balancing batch locality against worker load (~4 batches per worker,
+  /// clamped to [1, 32]). Like `jobs`, this knob never changes a result
+  /// byte; sim::MachineConfig::batch_stepping / DICER_NO_BATCH=1 fall back
+  /// to the historical machine-per-task data plane.
+  unsigned batch_machines = 0;
   /// Event sink (null = process-global tracer).
   trace::Tracer* tracer = nullptr;
   /// Metrics registry for fleet-wide distributions, actuation counters and
@@ -269,6 +277,14 @@ class Cluster {
   /// (reset every reduction; independent of config.metrics).
   telemetry::Histogram epoch_efu_hist_;
   telemetry::Histogram epoch_slowdown_hist_;
+  /// Persistent data-plane batches over contiguous machine ranges; batch b
+  /// covers machines [batch_start_[b], batch_start_[b] + batches_[b]->size())
+  /// and lane k of batch b is machine batch_start_[b] + k. Empty when
+  /// batched stepping is disabled (step_all falls back to machine-per-task).
+  /// Declared after nodes_ so the batches are destroyed first and can
+  /// unhook their shared phase tables from the machines.
+  std::vector<std::unique_ptr<sim::MachineBatch>> batches_;
+  std::vector<std::size_t> batch_start_;
 };
 
 }  // namespace dicer::fleet

@@ -56,6 +56,29 @@ ConsolidationResult run_consolidation(const sim::AppProfile& hp,
                                       policy::Policy& policy,
                                       const ConsolidationConfig& config = {});
 
+/// One lane of a batched consolidation run. `policy` is caller-owned and
+/// must be a distinct instance per task (policies carry per-run state);
+/// `cores_used` overrides base.cores_used for this lane.
+struct BatchConsolidationTask {
+  const sim::AppProfile* hp = nullptr;
+  const sim::AppProfile* be = nullptr;
+  policy::Policy* policy = nullptr;
+  unsigned cores_used = 10;
+};
+
+/// Run every task's consolidation through one sim::MachineBatch: the lanes
+/// share a deduplicated phase-constant table and each lane's steady-state
+/// quanta take the batched fused-replay path. Every ConsolidationResult is
+/// byte-identical to run_consolidation called with the same inputs —
+/// batching changes the wall clock, never a result bit. The sweep's chunked
+/// workers call this with a handful of consecutive grid cells per task
+/// (consecutive cells share a workload, so the phase table dedups across
+/// lanes); machines are stepped lane-major, one lane's control loop run to
+/// completion before the next starts.
+std::vector<ConsolidationResult> run_consolidation_batch(
+    const std::vector<BatchConsolidationTask>& tasks,
+    const ConsolidationConfig& base = {});
+
 /// Accumulate a machine's convergence counters into the global
 /// trace::TimerRegistry (the `--profile` output): quanta, replay hits,
 /// solves by stability, fixed-point rounds (total and histogram) and

@@ -2,11 +2,13 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
 
@@ -30,10 +32,12 @@ std::string sweep_key(const sim::AppCatalog& catalog,
   // Order-sensitive FNV over the sample labels, policies and core counts,
   // plus every config field that shapes results: machine geometry (cores,
   // frequency, LLC ways, link), the fixed-point solver knobs and the
-  // consolidation window/MBA settings. Worker count and the solver
-  // shortcuts are deliberately excluded — neither ever changes rows (the
-  // shortcuts are byte-identical by construction, and the equivalence
-  // tests hold them to that).
+  // consolidation window/MBA settings. Worker count, the solver shortcuts
+  // and the batch-stepping knobs (batch_cells, machine.batch_stepping) are
+  // deliberately excluded — none of them ever changes a row (shortcuts and
+  // batched stepping are byte-identical by construction, and the
+  // equivalence tests hold them to that), so flipping them must keep
+  // serving the same cache file.
   std::uint64_t h = 0xcbf29ce484222325ULL;
   auto mix = [&h](const std::string& s) {
     for (char c : s) {
@@ -187,15 +191,9 @@ struct SweepCell {
   const std::string* policy = nullptr;
 };
 
-SweepRow run_cell(const sim::AppCatalog& catalog, const SweepCell& cell,
-                  const ConsolidationConfig& base) {
-  const auto& hp = catalog.by_name(cell.entry->spec.hp);
-  const auto& be = catalog.by_name(cell.entry->spec.be);
-  ConsolidationConfig cc = base;
-  cc.cores_used = cell.cores;
-  const auto pol = policy::make_policy(*cell.policy);
-  const auto res = run_consolidation(hp, be, *pol, cc);
-
+/// Assemble a cell's row from its consolidation result — shared by the
+/// per-cell and batched paths so they cannot diverge.
+SweepRow make_row(const SweepCell& cell, const ConsolidationResult& res) {
   SweepRow r;
   r.hp = cell.entry->spec.hp;
   r.be = cell.entry->spec.be;
@@ -209,6 +207,16 @@ SweepRow run_cell(const sim::AppCatalog& catalog, const SweepCell& cell,
   r.efu =
       metrics::effective_utilisation(res.ipc_pairs(r.hp_alone, r.be_alone));
   return r;
+}
+
+SweepRow run_cell(const sim::AppCatalog& catalog, const SweepCell& cell,
+                  const ConsolidationConfig& base) {
+  const auto& hp = catalog.by_name(cell.entry->spec.hp);
+  const auto& be = catalog.by_name(cell.entry->spec.be);
+  ConsolidationConfig cc = base;
+  cc.cores_used = cell.cores;
+  const auto pol = policy::make_policy(*cell.policy);
+  return make_row(cell, run_consolidation(hp, be, *pol, cc));
 }
 
 }  // namespace
@@ -253,21 +261,58 @@ std::vector<SweepRow> policy_sweep(const sim::AppCatalog& catalog,
   std::vector<SweepRow> rows(cells.size());
   std::atomic<std::size_t> done{0};
   const unsigned jobs = resolve_sweep_jobs(config.jobs);
-  auto eval_cell = [&](std::size_t i) {
-    rows[i] = run_cell(catalog, cells[i], config.base);
-    const std::size_t d = done.fetch_add(1, std::memory_order_relaxed) + 1;
-    if (d % 200 == 0 || d == cells.size()) {
+  // Each worker task evaluates a chunk of `batch` consecutive cells through
+  // one MachineBatch (run_consolidation_batch). Chunking follows the
+  // enumeration order, so a chunk's cells usually share a workload entry
+  // and the batch's phase table dedups their PhaseConsts. batch == 1 keeps
+  // the historical per-cell path; either way every row is byte-identical.
+  const unsigned batch =
+      sim::batch_stepping_enabled(config.base.machine)
+          ? std::max(config.batch_cells != 0 ? config.batch_cells : 8u, 1u)
+          : 1u;
+  auto progress = [&](std::size_t n_done) {
+    const std::size_t d =
+        done.fetch_add(n_done, std::memory_order_relaxed) + n_done;
+    if (d / 200 != (d - n_done) / 200 || d == cells.size()) {
       DICER_INFO << "policy sweep: " << d << "/" << cells.size() << " ("
-                 << jobs << " jobs)";
+                 << jobs << " jobs, batch " << batch << ")";
     }
+  };
+  const std::size_t n_tasks = (cells.size() + batch - 1) / batch;
+  auto eval_chunk = [&](std::size_t t) {
+    const std::size_t begin = t * batch;
+    const std::size_t end = std::min(begin + batch, cells.size());
+    if (end - begin == 1) {
+      rows[begin] = run_cell(catalog, cells[begin], config.base);
+      progress(1);
+      return;
+    }
+    std::vector<std::unique_ptr<policy::Policy>> policies;
+    std::vector<BatchConsolidationTask> tasks;
+    policies.reserve(end - begin);
+    tasks.reserve(end - begin);
+    for (std::size_t i = begin; i < end; ++i) {
+      policies.push_back(policy::make_policy(*cells[i].policy));
+      BatchConsolidationTask task;
+      task.hp = &catalog.by_name(cells[i].entry->spec.hp);
+      task.be = &catalog.by_name(cells[i].entry->spec.be);
+      task.policy = policies.back().get();
+      task.cores_used = cells[i].cores;
+      tasks.push_back(task);
+    }
+    const auto results = run_consolidation_batch(tasks, config.base);
+    for (std::size_t i = begin; i < end; ++i) {
+      rows[i] = make_row(cells[i], results[i - begin]);
+    }
+    progress(end - begin);
   };
   {
     trace::ScopedTimer timer("sweep.compute");
-    if (jobs <= 1 || cells.size() <= 1) {
-      for (std::size_t i = 0; i < cells.size(); ++i) eval_cell(i);
+    if (jobs <= 1 || n_tasks <= 1) {
+      for (std::size_t t = 0; t < n_tasks; ++t) eval_chunk(t);
     } else {
       util::ThreadPool pool(jobs);
-      util::parallel_for(pool, cells.size(), eval_cell);
+      util::parallel_for(pool, n_tasks, eval_chunk);
     }
   }
 

@@ -40,6 +40,13 @@ struct SweepConfig {
   /// every (workload, cores, policy) cell is independent and rows come
   /// back in the same deterministic order as the serial sweep.
   unsigned jobs = 0;
+  /// Consecutive cells evaluated per worker task through one
+  /// sim::MachineBatch (consecutive cells share a workload entry, so the
+  /// batch's phase table dedups across lanes). 0 = auto: 8 when batched
+  /// stepping is enabled, 1 (the plain per-cell path) otherwise. Like
+  /// `jobs` and the solver shortcuts, this knob never changes a row and is
+  /// excluded from the sweep cache key by construction.
+  unsigned batch_cells = 0;
 };
 
 /// Resolve a requested worker count: 0 consults $DICER_SWEEP_JOBS, then

@@ -43,7 +43,7 @@ const AppPhase& AppRuntime::current_phase() const noexcept {
   return profile_->phases[phase_];
 }
 
-unsigned AppRuntime::advance(double instructions) {
+unsigned AppRuntime::advance_slow(double instructions) {
   unsigned completed = 0;
   retired_total_ += instructions;
   while (instructions > 0.0) {

@@ -44,6 +44,8 @@ enum class AppClass {
 
 const char* to_string(AppClass c) noexcept;
 
+class MachineBatch;
+
 struct AppProfile {
   std::string name;      ///< paper workload name, e.g. "milc1", "gcc_base3"
   std::string suite;     ///< "SPEC CPU 2006" or "PARSEC 3.0"
@@ -67,9 +69,39 @@ class AppRuntime {
 
   /// Retire `instructions`; crosses phase boundaries and whole-run restarts
   /// as needed. Returns the number of runs completed during this advance.
-  unsigned advance(double instructions);
+  /// The stay-within-phase case — every quantum of a settled stretch — is
+  /// inlined so the steady-state replay and batched-stepping commit loops
+  /// pay a compare and two adds; boundary crossings take the out-of-line
+  /// slow path. The fast-path predicate and additions are exactly the ones
+  /// advance_slow's loop performs, so splitting changes no result bit.
+  unsigned advance(double instructions) {
+    const AppPhase& ph = profile_->phases[phase_];
+    if (instructions > 0.0 && instructions < ph.instructions - into_phase_) {
+      retired_total_ += instructions;
+      into_phase_ += instructions;
+      return 0;
+    }
+    return advance_slow(instructions);
+  }
+
+  /// The stay-within-phase half of advance(), for callers that have
+  /// already proven `instructions` cannot reach the phase boundary (the
+  /// batched stepping engine budgets whole quanta against
+  /// phase_remaining() with a safety margin). Performs exactly the writes
+  /// advance()'s fast path performs — same two additions, zero
+  /// completions — so using it changes no result bit.
+  void advance_within_phase(double instructions) {
+    retired_total_ += instructions;
+    into_phase_ += instructions;
+  }
+
+  /// Instructions left before the current phase's boundary.
+  double phase_remaining() const noexcept {
+    return profile_->phases[phase_].instructions - into_phase_;
+  }
 
   std::uint64_t completions() const noexcept { return completions_; }
+
   double instructions_retired_total() const noexcept { return retired_total_; }
   /// Progress through the current run, in [0, 1).
   double run_progress() const noexcept;
@@ -77,6 +109,15 @@ class AppRuntime {
   void reset();
 
  private:
+  /// The batched stepping engine's bulk commit (MachineBatch::fused_run)
+  /// performs the same within-phase additions as advance_within_phase but
+  /// holds the running values in registers across a whole quanta chunk,
+  /// which needs direct access to the two accumulators.
+  friend class MachineBatch;
+
+  /// The full phase-walking advance (boundary crossings and restarts).
+  unsigned advance_slow(double instructions);
+
   const AppProfile* profile_;
   std::size_t phase_ = 0;
   double into_phase_ = 0.0;  ///< instructions retired within current phase

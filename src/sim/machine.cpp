@@ -11,6 +11,165 @@
 
 namespace dicer::sim {
 
+namespace {
+
+/// True when `name` is set to anything but "" or "0" — the shared shape of
+/// the DICER_NO_* escape hatches.
+bool env_disables(const char* name) noexcept {
+  if (const char* env = std::getenv(name)) {
+    return std::string_view(env) != "" && std::string_view(env) != "0";
+  }
+  return false;
+}
+
+/// (Re)build the pure-function-of-phase fields of `pc` for `ph` and reset
+/// the memo. One implementation serves both the per-core slots and the
+/// batch-shared PhaseConstTable, so the two storage schemes cannot drift.
+void build_phase_const(PhaseConst& pc, const AppPhase* ph) {
+  pc.phase = ph;
+  pc.sf = ph->mrc.stream_fraction();
+  pc.one_minus_sf = 1.0 - pc.sf;
+  pc.floor_m = ph->mrc.floor();
+  pc.span_m = std::max(ph->mrc.ceiling() - pc.floor_m, 1e-9);
+  const auto& comps = ph->mrc.components();
+  double wsum = 0.0;
+  for (const auto& c : comps) wsum += c.weight;
+  pc.wfrac.clear();
+  pc.ws.clear();
+  if (wsum > 0.0) {
+    pc.wfrac.reserve(comps.size());
+    pc.ws.reserve(comps.size());
+    for (const auto& c : comps) {
+      pc.wfrac.push_back(c.weight / wsum);
+      pc.ws.push_back(c.ws_bytes);
+    }
+  }
+  pc.memo_occ = -1.0;
+}
+
+/// The damped fixed point over one lane's active set, operating on the
+/// lane's flat scratch arrays in place. Pure code motion from
+/// Machine::solve_quantum (identical operations in identical order, so the
+/// floating-point results are bit-for-bit unchanged), parameterised on the
+/// lane state so a lone machine and a batch lane share one implementation.
+/// Returns true iff the final round reproduced every IPS bit-exactly;
+/// `rounds_used` reports how many rounds ran.
+bool solve_fixed_point(const MachineConfig& config,
+                       const std::vector<CacheRegion>& regions,
+                       MemoryLink& link,
+                       const std::vector<double>& mem_throttle,
+                       StepScratch& s, unsigned& rounds_used) {
+  const std::size_t n = s.active.size();
+  const double freq = config.freq_hz;
+  const double line = config.llc.line_bytes;
+
+  rounds_used = 0;
+  bool stable = false;
+  for (unsigned round = 0; round < config.fixed_point_rounds; ++round) {
+    // 1. Occupancy under current IPS estimates (Che working-set model).
+    //    Each MRC component becomes a reuse component whose touch rate is
+    //    proportional to its miss-mass weight.
+    for (std::size_t i = 0; i < n; ++i) {
+      const AppPhase& ph = *s.phase[i];
+      const PhaseConst& pc = *s.pc[i];
+      const double touch = ph.api * s.ips[i] * line;
+      auto& cd = s.cache_demand[i];
+      const std::size_t comps = pc.wfrac.size();
+      cd.reuse.resize(comps);
+      for (std::size_t j = 0; j < comps; ++j) {
+        cd.reuse[j].rate_bytes_per_sec =
+            touch * pc.one_minus_sf * pc.wfrac[j];
+        cd.reuse[j].footprint_bytes = pc.ws[j];
+      }
+      cd.stream_bytes_per_sec = touch * pc.sf;
+    }
+    solve_occupancy(regions, s.cache_demand, config.occupancy, s.occupancy,
+                    s.occ);
+
+    // 2. Miss ratios and bandwidth demand. Occupancies repeat across
+    //    rounds/quanta in steady state, so each core memoises its last
+    //    (occupancy, miss) evaluation.
+    for (std::size_t i = 0; i < n; ++i) {
+      PhaseConst& pc = *s.pc[i];
+      if (s.occ[i] != pc.memo_occ) {
+        pc.memo_occ = s.occ[i];
+        pc.memo_miss = s.phase[i]->mrc.at(s.occ[i]);
+      }
+      s.miss[i] = pc.memo_miss;
+      s.demand[i] = s.phase[i]->api * s.miss[i] * s.ips[i] * line *
+                    (1.0 + s.phase[i]->wb_ratio);
+    }
+    link.arbitrate_into(s.demand, s.arb);
+
+    // 3. New IPC estimates under the arbitrated latency; bandwidth cap when
+    //    the link is oversubscribed. The LLC hit path is shared too: ring /
+    //    LLC-port pressure from everyone's access rate inflates it.
+    double total_accesses = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      total_accesses += s.phase[i]->api * s.ips[i];
+    }
+    const double hit_latency =
+        config.llc_hit_latency_cycles *
+        (1.0 +
+         config.uncore_contention_coeff *
+             std::sqrt(std::min(
+                 total_accesses / config.uncore_access_ref_per_sec, 1.0)));
+    double worst_rel = 0.0;
+    bool round_stable = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      const AppPhase& ph = *s.phase[i];
+      const PhaseConst& pc = *s.pc[i];
+      // Cache starvation serialises reuse misses: degrade MLP with the
+      // excess miss ratio above the app's best case.
+      const double excess =
+          std::clamp((s.miss[i] - pc.floor_m) / pc.span_m, 0.0, 1.0);
+      const double mlp_eff =
+          ph.mlp *
+          (1.0 - config.mlp_squeeze * excess);
+      // An MBA throttle delays a core's memory requests: its exposed memory
+      // latency stretches by 1/throttle, and its demand falls as its IPS
+      // falls — the same route real MBA takes effect through.
+      const double cpi =
+          ph.cpi_core +
+          ph.api *
+              ((1.0 - s.miss[i]) * hit_latency +
+               s.miss[i] * s.arb.effective_latency_cycles /
+                   (mlp_eff * mem_throttle[s.active[i]]));
+      const double target = freq / cpi;
+      const double next =
+          config.fixed_point_damping * target +
+          (1.0 - config.fixed_point_damping) * s.ips[i];
+      if (next != s.ips[i]) round_stable = false;
+      worst_rel = std::max(worst_rel, std::fabs(next - s.ips[i]) /
+                                          std::max(s.ips[i], 1.0));
+      s.ips[i] = next;
+    }
+    ++rounds_used;
+    if (worst_rel < 1e-4) {
+      // The damped update is idempotent once a round reproduces every IPS
+      // bit-exactly (round_stable, i.e. worst_rel == 0): the remaining
+      // rounds are provably no-ops. The looser tolerance break subsumes
+      // that exit, so this preserves the exact historical exit round;
+      // round_stable's job is to license cross-quantum replay.
+      stable = round_stable;
+      break;
+    }
+  }
+  return stable;
+}
+
+}  // namespace
+
+PhaseConst& PhaseConstTable::get(const AppPhase* phase) {
+  const auto [it, inserted] = map_.try_emplace(phase);
+  if (inserted) build_phase_const(it->second, phase);
+  return it->second;
+}
+
+bool batch_stepping_enabled(const MachineConfig& config) noexcept {
+  return config.batch_stepping && !env_disables("DICER_NO_BATCH");
+}
+
 void SolverStats::merge(const SolverStats& other) {
   quanta += other.quanta;
   replays += other.replays;
@@ -56,11 +215,10 @@ Machine::Machine(const MachineConfig& config)
   if (config_.freq_hz <= 0.0) {
     throw std::invalid_argument("Machine: frequency must be > 0");
   }
-  if (const char* env = std::getenv("DICER_NO_SOLVER_SHORTCUTS")) {
-    if (std::string_view(env) != "" && std::string_view(env) != "0") {
-      config_.solver_shortcuts = false;
-    }
+  if (env_disables("DICER_NO_SOLVER_SHORTCUTS")) {
+    config_.solver_shortcuts = false;
   }
+  config_.batch_stepping = batch_stepping_enabled(config_);
   stats_.rounds_hist.assign(std::max(config_.fixed_point_rounds, 1u), 0);
 }
 
@@ -280,29 +438,18 @@ bool Machine::solve_quantum() {
   for (std::size_t i = 0; i < n; ++i) {
     const unsigned core = s.active[i];
     const AppPhase* ph = s.phase[i];
-    auto& pc = phase_const_[core];
-    if (pc.phase != ph) {
-      pc.phase = ph;
-      pc.sf = ph->mrc.stream_fraction();
-      pc.one_minus_sf = 1.0 - pc.sf;
-      pc.floor_m = ph->mrc.floor();
-      pc.span_m = std::max(ph->mrc.ceiling() - pc.floor_m, 1e-9);
-      const auto& comps = ph->mrc.components();
-      double wsum = 0.0;
-      for (const auto& c : comps) wsum += c.weight;
-      pc.wfrac.clear();
-      pc.ws.clear();
-      if (wsum > 0.0) {
-        pc.wfrac.reserve(comps.size());
-        pc.ws.reserve(comps.size());
-        for (const auto& c : comps) {
-          pc.wfrac.push_back(c.weight / wsum);
-          pc.ws.push_back(c.ws_bytes);
-        }
-      }
-      pc.memo_occ = -1.0;
+    PhaseConst* pc;
+    if (shared_phases_) {
+      // Batched: one PhaseConst per distinct phase across every lane of the
+      // batch. Same values as the per-core slot (both are built by
+      // build_phase_const and the memo is value-pure), one copy instead of
+      // cores x machines.
+      pc = &shared_phases_->get(ph);
+    } else {
+      pc = &phase_const_[core];
+      if (pc->phase != ph) build_phase_const(*pc, ph);
     }
-    s.pc.push_back(&pc);
+    s.pc.push_back(pc);
 
     // Warm-started state.
     const double seed = ips_seed_[core];
@@ -313,100 +460,11 @@ bool Machine::solve_quantum() {
   s.miss.assign(n, 1.0);
   s.demand.assign(n, 0.0);
   s.cache_demand.resize(n);
-  const double line = config_.llc.line_bytes;
 
   unsigned rounds_used = 0;
-  bool stable = false;
-  for (unsigned round = 0; round < config_.fixed_point_rounds; ++round) {
-    // 1. Occupancy under current IPS estimates (Che working-set model).
-    //    Each MRC component becomes a reuse component whose touch rate is
-    //    proportional to its miss-mass weight.
-    for (std::size_t i = 0; i < n; ++i) {
-      const AppPhase& ph = *s.phase[i];
-      const PhaseConst& pc = *s.pc[i];
-      const double touch = ph.api * s.ips[i] * line;
-      auto& cd = s.cache_demand[i];
-      const std::size_t comps = pc.wfrac.size();
-      cd.reuse.resize(comps);
-      for (std::size_t j = 0; j < comps; ++j) {
-        cd.reuse[j].rate_bytes_per_sec =
-            touch * pc.one_minus_sf * pc.wfrac[j];
-        cd.reuse[j].footprint_bytes = pc.ws[j];
-      }
-      cd.stream_bytes_per_sec = touch * pc.sf;
-    }
-    solve_occupancy(regions_, s.cache_demand, config_.occupancy, s.occupancy,
-                    s.occ);
-
-    // 2. Miss ratios and bandwidth demand. Occupancies repeat across
-    //    rounds/quanta in steady state, so each core memoises its last
-    //    (occupancy, miss) evaluation.
-    for (std::size_t i = 0; i < n; ++i) {
-      PhaseConst& pc = *s.pc[i];
-      if (s.occ[i] != pc.memo_occ) {
-        pc.memo_occ = s.occ[i];
-        pc.memo_miss = s.phase[i]->mrc.at(s.occ[i]);
-      }
-      s.miss[i] = pc.memo_miss;
-      s.demand[i] = s.phase[i]->api * s.miss[i] * s.ips[i] * line *
-                    (1.0 + s.phase[i]->wb_ratio);
-    }
-    link_.arbitrate_into(s.demand, s.arb);
-
-    // 3. New IPC estimates under the arbitrated latency; bandwidth cap when
-    //    the link is oversubscribed. The LLC hit path is shared too: ring /
-    //    LLC-port pressure from everyone's access rate inflates it.
-    double total_accesses = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-      total_accesses += s.phase[i]->api * s.ips[i];
-    }
-    const double hit_latency =
-        config_.llc_hit_latency_cycles *
-        (1.0 +
-         config_.uncore_contention_coeff *
-             std::sqrt(std::min(
-                 total_accesses / config_.uncore_access_ref_per_sec, 1.0)));
-    double worst_rel = 0.0;
-    bool round_stable = true;
-    for (std::size_t i = 0; i < n; ++i) {
-      const AppPhase& ph = *s.phase[i];
-      const PhaseConst& pc = *s.pc[i];
-      // Cache starvation serialises reuse misses: degrade MLP with the
-      // excess miss ratio above the app's best case.
-      const double excess =
-          std::clamp((s.miss[i] - pc.floor_m) / pc.span_m, 0.0, 1.0);
-      const double mlp_eff =
-          ph.mlp *
-          (1.0 - config_.mlp_squeeze * excess);
-      // An MBA throttle delays a core's memory requests: its exposed memory
-      // latency stretches by 1/throttle, and its demand falls as its IPS
-      // falls — the same route real MBA takes effect through.
-      const double cpi =
-          ph.cpi_core +
-          ph.api *
-              ((1.0 - s.miss[i]) * hit_latency +
-               s.miss[i] * s.arb.effective_latency_cycles /
-                   (mlp_eff * mem_throttle_[s.active[i]]));
-      const double target = freq / cpi;
-      const double next =
-          config_.fixed_point_damping * target +
-          (1.0 - config_.fixed_point_damping) * s.ips[i];
-      if (next != s.ips[i]) round_stable = false;
-      worst_rel = std::max(worst_rel, std::fabs(next - s.ips[i]) /
-                                          std::max(s.ips[i], 1.0));
-      s.ips[i] = next;
-    }
-    ++rounds_used;
-    if (worst_rel < 1e-4) {
-      // The damped update is idempotent once a round reproduces every IPS
-      // bit-exactly (round_stable, i.e. worst_rel == 0): the remaining
-      // rounds are provably no-ops. The looser tolerance break subsumes
-      // that exit, so this preserves the exact historical exit round;
-      // round_stable's job is to license cross-quantum replay.
-      stable = round_stable;
-      break;
-    }
-  }
+  const bool stable =
+      solve_fixed_point(config_, regions_, link_, mem_throttle_, s,
+                        rounds_used);
 
   ++stats_.solves;
   if (rounds_used > 0) {

@@ -26,6 +26,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/cache/occupancy_model.hpp"
@@ -51,6 +52,14 @@ struct MachineConfig {
   /// DICER_NO_SOLVER_SHORTCUTS env override, any value but "" or "0")
   /// exists so equivalence tests can pit the two paths against each other.
   bool solver_shortcuts = true;
+  /// Allow a sim::MachineBatch to drive this machine's steady-state quanta
+  /// through the batched fused-replay path. Like the solver shortcuts, the
+  /// batched path is byte-identical to serial Machine::step by construction
+  /// — the flag (and the DICER_NO_BATCH env override, any value but "" or
+  /// "0") exists as an escape hatch and so equivalence tests can pit the
+  /// two paths against each other. Consumers that choose a chunking before
+  /// any machine exists consult batch_stepping_enabled().
+  bool batch_stepping = true;
   double freq_hz = 2.2e9;
   CacheGeometry llc{};                   ///< 25 MB, 20-way, 64 B lines
   MemoryLinkConfig link{};               ///< 68.3 Gbps
@@ -122,6 +131,69 @@ struct CoreTelemetry {
   double last_quantum_ipc = 0.0; ///< diagnostic convenience
 };
 
+/// Per-phase constants hoisted out of the fixed-point rounds: they only
+/// change when the app on the core enters a new phase (or the core is
+/// re-attached), not once per round of every quantum. `phase` is the
+/// identity key; all fields but the memo pair are pure functions of that
+/// phase, which is what lets a MachineBatch share one PhaseConst per
+/// distinct phase across every lane.
+struct PhaseConst {
+  const AppPhase* phase = nullptr;
+  double sf = 0.0;            ///< mrc.stream_fraction()
+  double one_minus_sf = 1.0;  ///< 1 - sf, as the demand split computes it
+  double floor_m = 0.0;       ///< mrc.floor()
+  double span_m = 1e-9;       ///< max(mrc.ceiling() - floor, 1e-9)
+  std::vector<double> wfrac;  ///< weight_j / sum(weights); empty if sum<=0
+  std::vector<double> ws;     ///< component working-set bytes (with wfrac)
+  double memo_occ = -1.0;     ///< last mrc.at() argument on this core
+  double memo_miss = 1.0;     ///< and its value (occupancies repeat in
+                              ///< steady state; at() is pow-heavy)
+};
+
+/// Deduplicated PhaseConst storage keyed by phase identity: machines in a
+/// MachineBatch share one table, so N lanes running the same app build (and
+/// keep hot) one PhaseConst per distinct phase instead of one per core per
+/// machine. The memo pair is value-safe to share — mrc.at() is pure, so a
+/// memo refresh from any lane reproduces the exact value every lane would
+/// compute. Node-based map: references stay stable across inserts.
+/// Not thread-safe; a batch (and thus its table) is driven by one thread
+/// at a time.
+class PhaseConstTable {
+ public:
+  /// The shared PhaseConst for `phase`, built on first use.
+  PhaseConst& get(const AppPhase* phase);
+  std::size_t size() const noexcept { return map_.size(); }
+
+ private:
+  std::unordered_map<const AppPhase*, PhaseConst> map_;
+};
+
+/// Buffers reused across quanta so the steady-state step() performs no
+/// heap allocation. Sized to the active-app count each step; one lane's
+/// arrays are the flat per-slot state the fixed point iterates over.
+struct StepScratch {
+  std::vector<unsigned> active;
+  std::vector<WayMask> active_masks;
+  std::vector<const AppPhase*> phase;
+  std::vector<PhaseConst*> pc;
+  std::vector<double> ips;
+  std::vector<double> occ;
+  std::vector<double> miss;
+  std::vector<double> demand;
+  std::vector<CacheDemand> cache_demand;
+  LinkArbitration arb;
+  OccupancyScratch occupancy;
+};
+
+/// Whether batched stepping is in force for machines built from `config`:
+/// the config flag, unless the DICER_NO_BATCH env override (any value but
+/// "" or "0") vetoes it. Consumers (sweep chunking, fleet sharding) call
+/// this before any Machine exists; Machine's constructor resolves the same
+/// answer into config().batch_stepping.
+bool batch_stepping_enabled(const MachineConfig& config) noexcept;
+
+class MachineBatch;
+
 class Machine {
  public:
   explicit Machine(const MachineConfig& config = {});
@@ -181,39 +253,6 @@ class Machine {
   const SolverStats& solver_stats() const noexcept { return stats_; }
 
  private:
-  /// Per-phase constants hoisted out of the fixed-point rounds: they only
-  /// change when the app on the core enters a new phase (or the core is
-  /// re-attached), not once per round of every quantum. `phase` is the
-  /// identity key; all other fields are pure functions of that phase.
-  struct PhaseConst {
-    const AppPhase* phase = nullptr;
-    double sf = 0.0;            ///< mrc.stream_fraction()
-    double one_minus_sf = 1.0;  ///< 1 - sf, as the demand split computes it
-    double floor_m = 0.0;       ///< mrc.floor()
-    double span_m = 1e-9;       ///< max(mrc.ceiling() - floor, 1e-9)
-    std::vector<double> wfrac;  ///< weight_j / sum(weights); empty if sum<=0
-    std::vector<double> ws;     ///< component working-set bytes (with wfrac)
-    double memo_occ = -1.0;     ///< last mrc.at() argument on this core
-    double memo_miss = 1.0;     ///< and its value (occupancies repeat in
-                                ///< steady state; at() is pow-heavy)
-  };
-
-  /// Buffers reused across quanta so the steady-state step() performs no
-  /// heap allocation. Sized to the active-app count each step.
-  struct StepScratch {
-    std::vector<unsigned> active;
-    std::vector<WayMask> active_masks;
-    std::vector<const AppPhase*> phase;
-    std::vector<PhaseConst*> pc;
-    std::vector<double> ips;
-    std::vector<double> occ;
-    std::vector<double> miss;
-    std::vector<double> demand;
-    std::vector<CacheDemand> cache_demand;
-    LinkArbitration arb;
-    OccupancyScratch occupancy;
-  };
-
   /// Fingerprint of the inputs behind the last bit-stable solve. While
   /// armed, a quantum whose active-core list and per-core phase pointers
   /// match replays the scratch state (ips/occ/arbitration) verbatim —
@@ -236,6 +275,11 @@ class Machine {
   /// bit-exactly.
   bool solve_quantum();
 
+  /// MachineBatch snapshots the scratch/solve-cache state to fuse replayed
+  /// quanta and installs shared_phases_; everything it reads or writes is
+  /// exactly what a serial replayed step() would.
+  friend class MachineBatch;
+
   MachineConfig config_;
   double time_sec_ = 0.0;
   std::vector<std::optional<AppRuntime>> apps_;
@@ -246,7 +290,12 @@ class Machine {
   MemoryLink link_;
   double last_rho_ = 0.0;
   double last_traffic_ = 0.0;
-  std::vector<PhaseConst> phase_const_;  ///< per core
+  std::vector<PhaseConst> phase_const_;  ///< per core (unbatched machines)
+  /// Batch-shared PhaseConst storage: set by MachineBatch::add, cleared by
+  /// the batch's destructor. While set, solve_quantum resolves PhaseConsts
+  /// through the table instead of the per-core slots — same values either
+  /// way, one copy per distinct phase across the whole batch.
+  PhaseConstTable* shared_phases_ = nullptr;
   std::vector<CacheRegion> regions_;     ///< cached decomposition
   bool regions_valid_ = false;
   StepScratch scratch_;

@@ -115,6 +115,22 @@ TEST(Cluster, CsvIsByteIdenticalAcrossJobCounts) {
   EXPECT_EQ(serial, run_csv(fc, 5));
 }
 
+// The same contract across the batched data plane: batch_stepping and
+// batch_machines are speed knobs, never result knobs.
+TEST(Cluster, CsvIsByteIdenticalAcrossBatchStepping) {
+  FleetConfig fc = small_config();
+  const std::string batched = run_csv(fc, 5);
+  fc.machine.batch_stepping = false;
+  const std::string unbatched = run_csv(fc, 5);
+  EXPECT_EQ(batched, unbatched);
+  fc = small_config();
+  fc.batch_machines = 5;  // uneven slices: 16 machines -> 5,5,5,1
+  fc.jobs = 8;
+  EXPECT_EQ(batched, run_csv(fc, 5));
+  fc.batch_machines = 1;  // one machine per batch, degenerate chunking
+  EXPECT_EQ(batched, run_csv(fc, 5));
+}
+
 // Churn replay: a fixed seed pins every placement decision, so two fleets
 // built from the same config agree on the full decision log.
 TEST(Cluster, ChurnReplayPinsPlacementDecisions) {

@@ -35,9 +35,7 @@ struct RunOutput {
   std::vector<EpochMetrics> rows;
 };
 
-RunOutput run_with_metrics(unsigned jobs, std::uint64_t epochs = 5) {
-  FleetConfig fc = small_config();
-  fc.jobs = jobs;
+RunOutput run_config_with_metrics(FleetConfig fc, std::uint64_t epochs = 5) {
   // A run-local tracer + counter sink: actuation counters come from the
   // policies' existing event emission, fully isolated from other tests.
   trace::Tracer tracer;
@@ -57,6 +55,12 @@ RunOutput run_with_metrics(unsigned jobs, std::uint64_t epochs = 5) {
   return out;
 }
 
+RunOutput run_with_metrics(unsigned jobs, std::uint64_t epochs = 5) {
+  FleetConfig fc = small_config();
+  fc.jobs = jobs;
+  return run_config_with_metrics(fc, epochs);
+}
+
 TEST(FleetMetricsExport, ByteIdenticalAcrossWorkerCounts) {
   const RunOutput serial = run_with_metrics(1);
   const RunOutput parallel8 = run_with_metrics(8);
@@ -66,6 +70,33 @@ TEST(FleetMetricsExport, ByteIdenticalAcrossWorkerCounts) {
   EXPECT_NE(serial.prometheus.find("dicer_fleet_machine_efu_count"),
             std::string::npos);
   EXPECT_NE(serial.prometheus.find("dicer_events_period_total"),
+            std::string::npos);
+}
+
+TEST(FleetMetricsExport, ByteIdenticalAcrossBatchStepping) {
+  // The batched data plane (MachineBatch shards) must leave every export —
+  // Prometheus text (including the dicer_solver_* counters the fused path
+  // feeds) and per-epoch JSONL — byte-identical to the per-machine plane,
+  // at any batch size.
+  FleetConfig batched = small_config();
+  const RunOutput on = run_config_with_metrics(batched);
+
+  FleetConfig off_cfg = small_config();
+  off_cfg.machine.batch_stepping = false;
+  off_cfg.jobs = 8;  // and across worker counts, for good measure
+  const RunOutput off = run_config_with_metrics(off_cfg);
+  EXPECT_EQ(on.prometheus, off.prometheus);
+  EXPECT_EQ(on.jsonl, off.jsonl);
+
+  FleetConfig chunky = small_config();
+  chunky.batch_machines = 3;  // uneven ranges: 16 machines -> 3,3,3,3,3,1
+  chunky.jobs = 2;
+  const RunOutput uneven = run_config_with_metrics(chunky);
+  EXPECT_EQ(on.prometheus, uneven.prometheus);
+  EXPECT_EQ(on.jsonl, uneven.jsonl);
+
+  // The fused path actually carried quanta (not a vacuous comparison).
+  EXPECT_NE(on.prometheus.find("dicer_solver_replays_total"),
             std::string::npos);
 }
 

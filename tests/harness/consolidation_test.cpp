@@ -93,6 +93,79 @@ TEST(Consolidation, IdenticalBesGetIdenticalIpc) {
   }
 }
 
+TEST(Consolidation, BatchMatchesSerialExactly) {
+  // run_consolidation_batch is the sweep's chunked fast path: every lane's
+  // result must equal run_consolidation's bit for bit — IPCs, window,
+  // completions, link utilisation and the full solver-stat vector —
+  // across mixed policies and core counts in one batch.
+  struct Spec {
+    const char* hp;
+    const char* be;
+    const char* policy;
+    unsigned cores;
+  };
+  const std::vector<Spec> specs = {
+      {"milc1", "gcc_base3", "UM", 4},
+      {"omnetpp1", "gcc_base3", "DICER", 6},
+      {"namd1", "bzip22", "CT", 3},
+      {"milc1", "gcc_base3", "DICER", 4},
+  };
+  ConsolidationConfig base;
+  base.cores_used = 0;  // ignored: every task overrides
+
+  std::vector<std::unique_ptr<policy::Policy>> policies;
+  std::vector<BatchConsolidationTask> tasks;
+  for (const auto& s : specs) {
+    policies.push_back(policy::make_policy(s.policy));
+    tasks.push_back({&app(s.hp), &app(s.be), policies.back().get(), s.cores});
+  }
+  const auto batched = run_consolidation_batch(tasks, base);
+
+  ASSERT_EQ(batched.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const auto& s = specs[i];
+    ConsolidationConfig cfg = base;
+    cfg.cores_used = s.cores;
+    const auto pol = policy::make_policy(s.policy);
+    const auto serial = run_consolidation(app(s.hp), app(s.be), *pol, cfg);
+    const auto& b = batched[i];
+    EXPECT_EQ(b.policy, serial.policy) << "lane " << i;
+    EXPECT_EQ(b.window_sec, serial.window_sec) << "lane " << i;
+    EXPECT_EQ(b.window_capped, serial.window_capped) << "lane " << i;
+    EXPECT_EQ(b.hp_ipc, serial.hp_ipc) << "lane " << i;
+    EXPECT_EQ(b.be_ipc_mean, serial.be_ipc_mean) << "lane " << i;
+    EXPECT_EQ(b.be_ipcs, serial.be_ipcs) << "lane " << i;
+    EXPECT_EQ(b.hp_completions, serial.hp_completions) << "lane " << i;
+    EXPECT_EQ(b.be_completions, serial.be_completions) << "lane " << i;
+    EXPECT_EQ(b.avg_link_utilisation, serial.avg_link_utilisation)
+        << "lane " << i;
+    EXPECT_EQ(b.solver.quanta, serial.solver.quanta) << "lane " << i;
+    EXPECT_EQ(b.solver.replays, serial.solver.replays) << "lane " << i;
+    EXPECT_EQ(b.solver.solves, serial.solver.solves) << "lane " << i;
+    EXPECT_EQ(b.solver.stable_solves, serial.solver.stable_solves)
+        << "lane " << i;
+    EXPECT_EQ(b.solver.invalidations_actuator,
+              serial.solver.invalidations_actuator)
+        << "lane " << i;
+    EXPECT_EQ(b.solver.invalidations_fingerprint,
+              serial.solver.invalidations_fingerprint)
+        << "lane " << i;
+  }
+}
+
+TEST(Consolidation, BatchValidatesTasks) {
+  policy::Unmanaged um;
+  const auto& hp = app("milc1");
+  const auto& be = app("gcc_base3");
+  EXPECT_THROW(run_consolidation_batch({{nullptr, &be, &um, 4}}, {}),
+               std::invalid_argument);
+  EXPECT_THROW(run_consolidation_batch({{&hp, &be, nullptr, 4}}, {}),
+               std::invalid_argument);
+  EXPECT_THROW(run_consolidation_batch({{&hp, &be, &um, 1}}, {}),
+               std::invalid_argument);
+  EXPECT_TRUE(run_consolidation_batch({}, {}).empty());
+}
+
 TEST(Consolidation, DeterministicRepeats) {
   ConsolidationConfig cfg;
   cfg.cores_used = 5;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "util/thread_pool.hpp"
+
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -485,6 +487,70 @@ TEST(PolicySweep, CacheFileByteIdenticalAcrossSolverShortcuts) {
   EXPECT_EQ(on_lines, off_lines);
   std::remove(on_path.c_str());
   std::remove(off_path.c_str());
+}
+
+TEST(PolicySweep, CacheFileByteIdenticalAcrossBatchStepping) {
+  // Batched stepping (MachineBatch fused replay + cell chunking) is
+  // byte-identical by construction, so batch_stepping and batch_cells are
+  // excluded from the cache key and a sweep with batching fully disabled
+  // must produce the exact same cache file — no dicer-sweep-v7 bump, and
+  // any divergence means the fused path changed results.
+  const std::string on_path = ::testing::TempDir() + "/sweep_batch_on.csv";
+  const std::string off_path = ::testing::TempDir() + "/sweep_batch_off.csv";
+  std::remove(on_path.c_str());
+  std::remove(off_path.c_str());
+  const std::vector<BaselineEntry> sample = {
+      sample_entry("milc1", "gcc_base3"), sample_entry("namd1", "bzip22")};
+  auto on_cfg = small_config();
+  on_cfg.policies = {"UM", "CT", "DICER"};
+  on_cfg.batch_cells = 4;
+  auto off_cfg = on_cfg;
+  off_cfg.base.machine.batch_stepping = false;
+  off_cfg.batch_cells = 1;
+  off_cfg.jobs = 4;  // and at a different worker count, for good measure
+  policy_sweep(sim::default_catalog(), sample, on_cfg, on_path);
+  policy_sweep(sim::default_catalog(), sample, off_cfg, off_path);
+  const auto on_lines = read_lines(on_path);
+  const auto off_lines = read_lines(off_path);
+  ASSERT_GT(on_lines.size(), 2u);
+  EXPECT_EQ(on_lines, off_lines);
+  std::remove(on_path.c_str());
+  std::remove(off_path.c_str());
+}
+
+TEST(ResolveSweepJobs, EnvEdgeCases) {
+  // resolve_sweep_jobs delegates to the one shared implementation
+  // (util::ThreadPool::resolve_jobs) — these pin the strict
+  // $DICER_SWEEP_JOBS parse so the two callers can never drift apart
+  // again.
+  const unsigned hw = util::ThreadPool::hardware_workers();
+
+  // "2" never trips the 4x-hardware clamp (cap >= 4 even on 1 thread).
+  ASSERT_EQ(setenv("DICER_SWEEP_JOBS", "2", 1), 0);
+  EXPECT_EQ(resolve_sweep_jobs(0), 2u);
+  EXPECT_EQ(resolve_sweep_jobs(3), 3u);  // explicit request beats the env
+
+  // Not a worker count: fall back to hardware concurrency, never 0.
+  ASSERT_EQ(setenv("DICER_SWEEP_JOBS", "0", 1), 0);
+  EXPECT_EQ(resolve_sweep_jobs(0), hw);
+
+  // Partial parses must not silently truncate ("4x" is not 4).
+  ASSERT_EQ(setenv("DICER_SWEEP_JOBS", "4x", 1), 0);
+  EXPECT_EQ(resolve_sweep_jobs(0), hw);
+
+  // Negative values must not wrap to a huge unsigned.
+  ASSERT_EQ(setenv("DICER_SWEEP_JOBS", "-1", 1), 0);
+  EXPECT_EQ(resolve_sweep_jobs(0), hw);
+
+  ASSERT_EQ(setenv("DICER_SWEEP_JOBS", "", 1), 0);
+  EXPECT_EQ(resolve_sweep_jobs(0), hw);
+
+  // Oversubscription by orders of magnitude clamps to 4x hardware.
+  ASSERT_EQ(setenv("DICER_SWEEP_JOBS", "999999", 1), 0);
+  EXPECT_EQ(resolve_sweep_jobs(0), 4u * hw);
+
+  unsetenv("DICER_SWEEP_JOBS");
+  EXPECT_EQ(resolve_sweep_jobs(0), hw);
 }
 
 }  // namespace
