@@ -555,6 +555,101 @@ BENCHMARK(BM_FleetEpochWithMetrics)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
+// One MRC best-fit placement decision over a 2000-machine fleet under
+// steady churn, full-scan vs indexed. Both variants run the identical
+// mutation + decision sequence (the paths are byte-equivalent, so the
+// placed-tenant stream is too); the full scan pays the per-decision
+// MachineView rebuild plus 2N predict() calls the historical control plane
+// paid, the indexed path resolves off the PlacementIndex's dirty-score
+// caches. bench_compare.py pins (full-scan / indexed) >= 5x.
+void fleet_placement_bench(benchmark::State& state, bool indexed) {
+  const auto& catalog = sim::default_catalog();
+  const sim::MachineConfig mc;
+  const fleet::AppDirectory dir(catalog, mc);
+  constexpr unsigned kMachines = 2000;
+  constexpr unsigned kBeSlots = 5;
+  fleet::PlacementIndex index(dir, kBeSlots);
+  util::Xoshiro256 rng(99);
+  // ~60% BE-slot occupancy: busy enough that MRC scoring has real tenant
+  // lists, open enough that every decision has thousands of candidates.
+  for (unsigned m = 0; m < kMachines; ++m) {
+    index.add_machine(&catalog.at(rng.below(catalog.size())));
+    for (unsigned c = 1; c <= kBeSlots; ++c) {
+      if (rng.below(100) < 60) {
+        index.admit(m, c, &catalog.at(rng.below(catalog.size())));
+      }
+    }
+  }
+  fleet::MrcBestFitPlacement engine(dir);
+  for (auto _ : state) {
+    // Churn one tenant out (dirtying its machine's score caches), then
+    // place and admit a fresh arrival — the steady-state epoch pattern.
+    for (;;) {
+      const auto m = static_cast<unsigned>(rng.below(kMachines));
+      const unsigned c = 1 + static_cast<unsigned>(rng.below(kBeSlots));
+      if (index.tenant(m, c)) {
+        index.detach(m, c);
+        break;
+      }
+    }
+    const auto* app = &catalog.at(rng.below(catalog.size()));
+    std::optional<unsigned> dest;
+    if (indexed) {
+      dest = engine.place_indexed(*app, index, std::nullopt);
+    } else {
+      auto views = fleet::index_views(index);
+      dest = engine.place(*app, views);
+    }
+    benchmark::DoNotOptimize(dest);
+    if (dest) {
+      for (unsigned c = 1; c <= kBeSlots; ++c) {
+        if (!index.tenant(*dest, c)) {
+          index.admit(*dest, c, app);
+          break;
+        }
+      }
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.counters["machines"] = static_cast<double>(kMachines);
+}
+
+void BM_FleetPlacementFullScan(benchmark::State& state) {
+  fleet_placement_bench(state, /*indexed=*/false);
+}
+BENCHMARK(BM_FleetPlacementFullScan)->Unit(benchmark::kMillisecond);
+
+void BM_FleetPlacementIndexed(benchmark::State& state) {
+  fleet_placement_bench(state, /*indexed=*/true);
+}
+BENCHMARK(BM_FleetPlacementIndexed)->Unit(benchmark::kMillisecond);
+
+// A churn-heavy epoch at fleet scale: 10k machines, ~400 arrivals/sec into
+// mrc placement. The cluster is built once and stepped across benchmark
+// batches (tenant population reaches steady state after the first epochs),
+// so each iteration is one production-shaped epoch: control plane +
+// sharded data plane + ordered reduction.
+void BM_FleetEpochChurn(benchmark::State& state) {
+  static fleet::Cluster* cluster = [] {
+    fleet::FleetConfig fc;
+    fc.num_machines = 10000;
+    fc.cores_used = 6;
+    fc.churn.arrival_rate_per_sec = 400.0;
+    fc.churn.mean_lifetime_sec = 8.0;
+    fc.placement = "mrc";
+    return new fleet::Cluster(fc, sim::default_catalog());
+  }();
+  for (auto _ : state) {
+    const auto m = cluster->step_epoch();
+    benchmark::DoNotOptimize(m.fleet_efu);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+  state.counters["machines"] = 10000.0;
+  state.counters["tenants"] =
+      static_cast<double>(cluster->tenants_running());
+}
+BENCHMARK(BM_FleetEpochChurn)->UseRealTime()->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -21,8 +21,10 @@
 // time series. Both exports inherit the CSV's determinism contract.
 //
 // --compare re-runs the identical churn sequence under every placement
-// engine and prints a mean-EFU scoreboard — the "does MRC-aware placement
-// beat random?" answer in one table.
+// engine and prints a mean-EFU-vs-cost scoreboard — the "does MRC-aware
+// placement beat random, and what does each decision cost?" answer in one
+// table (the wall-clock column is the one non-deterministic cell).
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <ostream>
@@ -54,11 +56,16 @@ static int run(int argc, char** argv) {
     // the only variable.
     util::TextTable table;
     table.set_header({"placement", "mean EFU", "HP norm", "rejected",
-                      "migrations", "SLO viol rate"});
+                      "migrations", "SLO viol rate", "wall ms/epoch"});
     for (const auto& name : fleet::known_placements()) {
       fc.placement = name;
       fleet::Cluster cluster(fc, catalog);
+      const auto t0 = std::chrono::steady_clock::now();
       const auto rows = cluster.run(epochs);
+      const double wall_ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - t0)
+              .count();
       std::uint64_t rejected = 0, migrations = 0;
       double hp_norm = 0.0, viol = 0.0;
       for (const auto& r : rows) {
@@ -71,7 +78,8 @@ static int run(int argc, char** argv) {
       table.add_row({name, util::fmt_fixed(fleet::Cluster::mean_efu(rows), 4),
                      util::fmt_fixed(hp_norm / n, 4),
                      std::to_string(rejected), std::to_string(migrations),
-                     util::fmt_fixed(viol / n, 4)});
+                     util::fmt_fixed(viol / n, 4),
+                     util::fmt_fixed(wall_ms / n, 2)});
     }
     std::cout << "Fleet of " << fc.num_machines << " machines, " << epochs
               << " epochs, " << fc.policy << " policy:\n\n";

@@ -51,6 +51,13 @@ DEFAULT_BENCHES = [
     # the uninstrumented epoch.
     "BM_MetricsRecord",
     "BM_FleetEpochWithMetrics/1/real_time",
+    # The control-plane placement pair: one MRC best-fit decision over a
+    # churning 2000-machine fleet, full-scan vs PlacementIndex; --speedup
+    # pins indexed >= 5x faster. The 10k-machine churn-heavy epoch guards
+    # fleet_sim's wall clock at datacenter scale.
+    "BM_FleetPlacementFullScan",
+    "BM_FleetPlacementIndexed",
+    "BM_FleetEpochChurn/real_time",
 ]
 
 _UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}

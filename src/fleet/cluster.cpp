@@ -129,6 +129,17 @@ Cluster::Cluster(const FleetConfig& config, const sim::AppCatalog& catalog)
   for (auto& node : nodes_) {
     boot_node(node, &catalog.at(rng.below(catalog.size())));
   }
+  // The persistent control-plane index: one slot per machine, kept in step
+  // with the nodes' tenant arrays by admit/evict. A speed knob only —
+  // place_tenant routes through it when live, and every decision matches
+  // the full-scan path bit for bit (DICER_NO_PLACEMENT_INDEX=1 forces the
+  // historical rebuild-per-arrival views() scan).
+  if (config_.placement_index &&
+      !sim::env_disables("DICER_NO_PLACEMENT_INDEX")) {
+    index_ = std::make_unique<PlacementIndex>(directory_,
+                                              config_.cores_used - 1);
+    for (const auto& node : nodes_) index_->add_machine(node.hp);
+  }
   epoch_stats_.reserve(nodes_.size());
   bind_metrics();
 
@@ -259,13 +270,32 @@ unsigned Cluster::lowest_free_core(const Node& node) const {
   throw std::logic_error("Cluster: no free core on chosen machine");
 }
 
-void Cluster::admit(Node& node, unsigned core, const Tenant& tenant) {
+void Cluster::admit(std::size_t m, unsigned core, const Tenant& tenant) {
+  Node& node = nodes_[m];
   node.tenants[core] = tenant;
   node.machine->attach(core, tenant.app);
   // Machine::detach reverted this core to the full mask; re-associating
   // re-applies the BE CLOS mask the machine's policy currently runs.
   node.cat->associate(core, policy::kBeClos);
   node.monitor->track(core);
+  ++tenants_count_;
+  if (index_) index_->admit(static_cast<unsigned>(m), core, tenant.app);
+}
+
+void Cluster::evict(std::size_t m, unsigned core) {
+  Node& node = nodes_[m];
+  node.machine->detach(core);
+  node.tenants[core].reset();
+  --tenants_count_;
+  if (index_) index_->detach(static_cast<unsigned>(m), core);
+}
+
+std::optional<unsigned> Cluster::place_tenant(const sim::AppProfile& app,
+                                              std::optional<unsigned> exclude) {
+  if (index_) return placement_->place_indexed(app, *index_, exclude);
+  auto vs = views();
+  if (exclude) vs[*exclude].free_cores = 0;  // never place onto the source
+  return placement_->place(app, vs);
 }
 
 std::vector<MachineView> Cluster::views() const {
@@ -286,25 +316,16 @@ std::vector<MachineView> Cluster::views() const {
   return out;
 }
 
-std::uint64_t Cluster::tenants_running() const noexcept {
-  std::uint64_t n = 0;
-  for (const auto& node : nodes_) {
-    for (const auto& t : node.tenants) n += t.has_value() ? 1u : 0u;
-  }
-  return n;
-}
-
 const sim::AppProfile& Cluster::hp_of(unsigned machine) const {
   return *nodes_.at(machine).hp;
 }
 
 void Cluster::do_departures(double epoch_start, EpochMetrics& m) {
-  for (auto& node : nodes_) {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
     for (unsigned c = 1; c < config_.cores_used; ++c) {
-      if (node.tenants[c] &&
-          node.tenants[c]->depart_t_sec <= epoch_start + kEps) {
-        node.machine->detach(c);
-        node.tenants[c].reset();
+      if (nodes_[i].tenants[c] &&
+          nodes_[i].tenants[c]->depart_t_sec <= epoch_start + kEps) {
+        evict(i, c);
         ++m.departures;
       }
     }
@@ -335,10 +356,9 @@ void Cluster::do_migrations(EpochMetrics& m) {
     src.slo_streak = 0;
     if (victim_core == 0) continue;
 
-    auto vs = views();
-    vs[i].free_cores = 0;  // never "migrate" onto the source
     const Tenant tenant = *src.tenants[victim_core];
-    const auto dest = placement_->place(*tenant.app, vs);
+    const auto dest =
+        place_tenant(*tenant.app, static_cast<unsigned>(i));
 
     PlacementRecord rec;
     rec.tenant_id = tenant.id;
@@ -347,12 +367,10 @@ void Cluster::do_migrations(EpochMetrics& m) {
     rec.migration = true;
     rec.accepted = dest.has_value();
     if (dest) {
-      src.machine->detach(victim_core);
-      src.tenants[victim_core].reset();
-      Node& dst = nodes_[*dest];
+      evict(i, victim_core);
       rec.machine = *dest;
-      rec.core = lowest_free_core(dst);
-      admit(dst, rec.core, tenant);
+      rec.core = lowest_free_core(nodes_[*dest]);
+      admit(*dest, rec.core, tenant);
       ++m.migrations;
       if (metrics_.migration_streak) {
         metrics_.migration_streak->record(static_cast<double>(streak));
@@ -374,7 +392,7 @@ void Cluster::do_arrivals(double epoch_end, EpochMetrics& m) {
   auto& tr = trace::resolve(config_.tracer);
   for (const auto& a : churn_.drain_until(epoch_end)) {
     ++m.arrivals;
-    const auto dest = placement_->place(*a.app, views());
+    const auto dest = place_tenant(*a.app, std::nullopt);
 
     PlacementRecord rec;
     rec.tenant_id = a.id;
@@ -382,10 +400,9 @@ void Cluster::do_arrivals(double epoch_end, EpochMetrics& m) {
     rec.app = a.app->name;
     rec.accepted = dest.has_value();
     if (dest) {
-      Node& dst = nodes_[*dest];
       rec.machine = *dest;
-      rec.core = lowest_free_core(dst);
-      admit(dst, rec.core, {a.id, a.app, a.t_sec + a.lifetime_sec});
+      rec.core = lowest_free_core(nodes_[*dest]);
+      admit(*dest, rec.core, {a.id, a.app, a.t_sec + a.lifetime_sec});
       if (metrics_.placement_wait) {
         // Arrivals drain at the epoch boundary, so a tenant waits from its
         // arrival instant to the end of the epoch it lands in.

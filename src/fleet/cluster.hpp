@@ -37,6 +37,7 @@
 #include "fleet/churn.hpp"
 #include "fleet/directory.hpp"
 #include "fleet/placement.hpp"
+#include "fleet/placement_index.hpp"
 #include "policy/policy.hpp"
 #include "rdt/cat.hpp"
 #include "rdt/monitor.hpp"
@@ -54,7 +55,7 @@ struct FleetConfig {
   unsigned cores_used = 10;
   sim::MachineConfig machine{};
   std::string policy = "DICER";     ///< per-machine policy (policy::factory)
-  std::string placement = "mrc";    ///< random | least-loaded | mrc
+  std::string placement = "mrc";  ///< random | least-loaded | mrc | mrc-p2c
   double epoch_sec = 1.0;
   double slo_norm = 0.90;           ///< HP SLO: normalised IPC >= slo_norm
   /// Migrate one BE off a machine whose HP violated its SLO for this many
@@ -63,6 +64,14 @@ struct FleetConfig {
   ChurnConfig churn{};
   std::uint64_t seed = 42;          ///< HP assignment + random placement
   unsigned jobs = 0;                ///< stepping shards; 0 = auto
+  /// Maintain the persistent fleet::PlacementIndex and route every
+  /// placement decision through PlacementEngine::place_indexed instead of
+  /// rebuilding MachineViews per arrival. Like batching, a speed knob that
+  /// never changes a result byte: decisions, placement log, CSV and every
+  /// metrics export are byte-identical either way (test- and CI-pinned).
+  /// The DICER_NO_PLACEMENT_INDEX env override (any value but "" or "0")
+  /// forces the historical full-scan path regardless of this flag.
+  bool placement_index = true;
   /// Machines per data-plane batch: each stepping task advances one
   /// sim::MachineBatch (a contiguous machine slice sharing a phase table
   /// and the fused replay path) instead of a single machine. 0 = auto,
@@ -172,12 +181,19 @@ class Cluster {
     return static_cast<unsigned>(nodes_.size());
   }
   std::uint64_t epochs_done() const noexcept { return epoch_; }
-  /// BE tenants currently running fleet-wide.
-  std::uint64_t tenants_running() const noexcept;
+  /// BE tenants currently running fleet-wide (an O(1) counter maintained
+  /// by admit/departure/migration, pinned equal to the per-core scan by
+  /// the randomized-churn tests).
+  std::uint64_t tenants_running() const noexcept { return tenants_count_; }
   /// The HP app hosted on `machine`.
   const sim::AppProfile& hp_of(unsigned machine) const;
   /// Current placement-relevant state of every machine, in index order.
   std::vector<MachineView> views() const;
+  /// The live placement index, or null when the full-scan path is active
+  /// (FleetConfig::placement_index false or DICER_NO_PLACEMENT_INDEX set).
+  const PlacementIndex* placement_index() const noexcept {
+    return index_.get();
+  }
   /// Every placement decision so far, in decision order.
   const std::vector<PlacementRecord>& placement_log() const noexcept {
     return placement_log_;
@@ -246,9 +262,18 @@ class Cluster {
 
   void boot_node(Node& node, const sim::AppProfile* hp);
   void bind_metrics();
-  /// Attach `tenant` to `core` of `node` (mask re-associated to the BE
-  /// CLOS — Machine::detach reverts cores to the full mask).
-  void admit(Node& node, unsigned core, const Tenant& tenant);
+  /// Attach `tenant` to `core` of machine `m` (mask re-associated to the
+  /// BE CLOS — Machine::detach reverts cores to the full mask), keeping
+  /// the tenant counter and the placement index in step.
+  void admit(std::size_t m, unsigned core, const Tenant& tenant);
+  /// Detach whatever runs on `core` of machine `m`, keeping the tenant
+  /// counter and the placement index in step.
+  void evict(std::size_t m, unsigned core);
+  /// One placement decision: the indexed fast path when the index is live,
+  /// the historical views() full scan otherwise. `exclude` closes one
+  /// machine (migration sources).
+  std::optional<unsigned> place_tenant(const sim::AppProfile& app,
+                                       std::optional<unsigned> exclude);
   unsigned lowest_free_core(const Node& node) const;
   void do_departures(double epoch_start, EpochMetrics& m);
   void do_migrations(EpochMetrics& m);
@@ -264,6 +289,14 @@ class Cluster {
   AppDirectory directory_;
   ChurnGenerator churn_;
   std::unique_ptr<PlacementEngine> placement_;
+  /// Incremental placement view (null when disabled): slots mirror the
+  /// nodes' tenant arrays, updated by admit/evict, consulted by
+  /// place_tenant. Declared after directory_ (it holds signal pointers
+  /// into it).
+  std::unique_ptr<PlacementIndex> index_;
+  /// BE tenants running now — admit/evict keep it equal to the per-core
+  /// scan without the O(machines x cores) walk each epoch paid.
+  std::uint64_t tenants_count_ = 0;
   std::vector<Node> nodes_;
   std::unique_ptr<util::ThreadPool> pool_;  ///< null when jobs == 1
   unsigned jobs_ = 1;

@@ -26,6 +26,7 @@ AppDirectory::AppDirectory(const sim::AppCatalog& catalog,
   for (const auto& app : catalog.profiles()) {
     AppSignal s;
     s.profile = &app;
+    s.id = signals_.size();
     s.ipc_by_ways.reserve(ways);
     s.bw_by_ways.reserve(ways);
     for (unsigned w = 1; w <= ways; ++w) {

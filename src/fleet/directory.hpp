@@ -26,6 +26,9 @@ namespace dicer::fleet {
 /// What the placement engines know about one application.
 struct AppSignal {
   const sim::AppProfile* profile = nullptr;
+  /// Dense directory-local id in [0, AppDirectory::size()) — the key the
+  /// PlacementIndex per-machine score caches are bucketed by.
+  std::size_t id = 0;
   /// Solo steady-state IPC with w ways, at index w-1 (w in 1..llc.ways).
   std::vector<double> ipc_by_ways;
   /// Solo achieved memory bandwidth with w ways, at index w-1 (bytes/s).

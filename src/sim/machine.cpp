@@ -11,16 +11,14 @@
 
 namespace dicer::sim {
 
-namespace {
-
-/// True when `name` is set to anything but "" or "0" — the shared shape of
-/// the DICER_NO_* escape hatches.
 bool env_disables(const char* name) noexcept {
   if (const char* env = std::getenv(name)) {
     return std::string_view(env) != "" && std::string_view(env) != "0";
   }
   return false;
 }
+
+namespace {
 
 /// (Re)build the pure-function-of-phase fields of `pc` for `ph` and reset
 /// the memo. One implementation serves both the per-core slots and the

@@ -185,6 +185,11 @@ struct StepScratch {
   OccupancyScratch occupancy;
 };
 
+/// True when the env var `name` is set to anything but "" or "0" — the
+/// shared shape of every DICER_NO_* escape hatch (DICER_NO_BATCH,
+/// DICER_NO_SOLVER_SHORTCUTS, DICER_NO_PLACEMENT_INDEX).
+bool env_disables(const char* name) noexcept;
+
 /// Whether batched stepping is in force for machines built from `config`:
 /// the config flag, unless the DICER_NO_BATCH env override (any value but
 /// "" or "0") vetoes it. Consumers (sweep chunking, fleet sharding) call

@@ -1,0 +1,318 @@
+#include "fleet/placement_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "fleet/cluster.hpp"
+#include "fleet/placement.hpp"
+#include "sim/core/catalog.hpp"
+#include "util/rng.hpp"
+
+namespace dicer::fleet {
+namespace {
+
+FleetConfig small_config() {
+  FleetConfig fc;
+  fc.num_machines = 16;
+  fc.cores_used = 4;
+  fc.churn.arrival_rate_per_sec = 6.0;
+  fc.churn.mean_lifetime_sec = 4.0;
+  fc.churn.seed = 17;
+  fc.seed = 11;
+  fc.jobs = 1;
+  return fc;
+}
+
+/// Brute-force shadow of the index: the same tenant grid kept as plain
+/// vectors, every derived quantity recomputed from scratch.
+struct Shadow {
+  unsigned be_slots = 0;
+  std::vector<std::vector<const sim::AppProfile*>> grid;  ///< [machine][core]
+
+  unsigned free_cores(unsigned m) const {
+    unsigned n = 0;
+    for (unsigned c = 1; c <= be_slots; ++c) n += grid[m][c] ? 0u : 1u;
+    return n;
+  }
+  std::vector<unsigned> open() const {
+    std::vector<unsigned> out;
+    for (unsigned m = 0; m < grid.size(); ++m) {
+      if (free_cores(m) > 0) out.push_back(m);
+    }
+    return out;
+  }
+  std::optional<unsigned> least_loaded(std::optional<unsigned> excl) const {
+    std::optional<unsigned> best;
+    unsigned best_free = 0;
+    for (unsigned m = 0; m < grid.size(); ++m) {
+      if (excl && *excl == m) continue;
+      const unsigned f = free_cores(m);
+      if (f == 0) continue;
+      if (!best || f > best_free) {
+        best = m;
+        best_free = f;
+      }
+    }
+    return best;
+  }
+};
+
+/// Every queryable fact of `index` against the scratch rebuild `shadow`.
+void expect_matches(const PlacementIndex& index, const Shadow& shadow) {
+  ASSERT_EQ(index.size(), shadow.grid.size());
+  const auto open = shadow.open();
+  EXPECT_EQ(index.open_count(), open.size());
+  std::uint64_t rank = 0;
+  for (unsigned m = 0; m < shadow.grid.size(); ++m) {
+    EXPECT_EQ(index.free_cores(m), shadow.free_cores(m)) << "machine " << m;
+    EXPECT_EQ(index.is_open(m), shadow.free_cores(m) > 0);
+    EXPECT_EQ(index.open_rank(m), rank) << "machine " << m;
+    if (shadow.free_cores(m) > 0) ++rank;
+    for (unsigned c = 1; c <= shadow.be_slots; ++c) {
+      EXPECT_EQ(index.tenant(m, c), shadow.grid[m][c]);
+    }
+  }
+  for (std::uint64_t k = 0; k < open.size(); ++k) {
+    EXPECT_EQ(index.nth_open(k), open[k]) << "rank " << k;
+  }
+  EXPECT_EQ(index.least_loaded(), shadow.least_loaded(std::nullopt));
+  if (!shadow.grid.empty()) {
+    EXPECT_EQ(index.least_loaded(0u), shadow.least_loaded(0u));
+    const auto last = static_cast<unsigned>(shadow.grid.size() - 1);
+    EXPECT_EQ(index.least_loaded(last), shadow.least_loaded(last));
+  }
+}
+
+// The core oracle: a randomized admit/detach churn where, after *every*
+// mutation, the incrementally-maintained index agrees with a from-scratch
+// rebuild on every machine's tenants, the open-set order statistics and
+// the least-loaded winner.
+TEST(PlacementIndex, MatchesScratchRebuildUnderRandomChurn) {
+  const auto& catalog = sim::default_catalog();
+  const sim::MachineConfig mc;
+  const AppDirectory dir(catalog, mc);
+  constexpr unsigned kMachines = 23;
+  constexpr unsigned kBeSlots = 3;
+
+  PlacementIndex index(dir, kBeSlots);
+  Shadow shadow;
+  shadow.be_slots = kBeSlots;
+  util::Xoshiro256 rng(12345);
+  for (unsigned m = 0; m < kMachines; ++m) {
+    const auto* hp = &catalog.at(rng.below(catalog.size()));
+    EXPECT_EQ(index.add_machine(hp), m);
+    EXPECT_EQ(index.hp(m), hp);
+    shadow.grid.emplace_back(kBeSlots + 1, nullptr);
+    expect_matches(index, shadow);
+  }
+
+  for (int step = 0; step < 600; ++step) {
+    const auto m = static_cast<unsigned>(rng.below(kMachines));
+    const auto c = 1 + static_cast<unsigned>(rng.below(kBeSlots));
+    if (shadow.grid[m][c]) {
+      index.detach(m, c);
+      shadow.grid[m][c] = nullptr;
+    } else {
+      const auto* app = &catalog.at(rng.below(catalog.size()));
+      index.admit(m, c, app);
+      shadow.grid[m][c] = app;
+    }
+    expect_matches(index, shadow);
+  }
+}
+
+TEST(PlacementIndex, ValidatesArguments) {
+  const auto& catalog = sim::default_catalog();
+  const AppDirectory dir(catalog, sim::MachineConfig{});
+  EXPECT_THROW(PlacementIndex(dir, 0), std::invalid_argument);
+
+  PlacementIndex index(dir, 2);
+  index.add_machine(&catalog.at(0));
+  EXPECT_THROW(index.free_cores(1), std::out_of_range);
+  EXPECT_THROW(index.admit(0, 0, &catalog.at(1)), std::logic_error);
+  EXPECT_THROW(index.admit(0, 3, &catalog.at(1)), std::logic_error);
+  EXPECT_THROW(index.detach(0, 1), std::logic_error);  // core already free
+  index.admit(0, 1, &catalog.at(1));
+  EXPECT_THROW(index.admit(0, 1, &catalog.at(2)), std::logic_error);
+  EXPECT_THROW(index.nth_open(1), std::out_of_range);
+}
+
+TEST(PlacementIndex, TenantSignalsAreCoreOrdered) {
+  const auto& catalog = sim::default_catalog();
+  const AppDirectory dir(catalog, sim::MachineConfig{});
+  PlacementIndex index(dir, 3);
+  index.add_machine(&catalog.at(0));
+  // Admit out of core order; the signal list must come back in core order
+  // (the operand order the MRC scorer's float sums depend on).
+  index.admit(0, 3, &catalog.at(5));
+  index.admit(0, 1, &catalog.at(9));
+  std::vector<const AppSignal*> sigs;
+  index.tenant_signals(0, sigs);
+  ASSERT_EQ(sigs.size(), 2u);
+  EXPECT_EQ(sigs[0], &dir.signal(catalog.at(9).name));
+  EXPECT_EQ(sigs[1], &dir.signal(catalog.at(5).name));
+}
+
+// Version stamps: mutations must invalidate the cached scores; untouched
+// machines must keep theirs.
+TEST(PlacementIndex, DirtyScoreProtocolInvalidatesOnMutation) {
+  const auto& catalog = sim::default_catalog();
+  const AppDirectory dir(catalog, sim::MachineConfig{});
+  PlacementIndex index(dir, 2);
+  index.add_machine(&catalog.at(0));
+  index.add_machine(&catalog.at(1));
+
+  EXPECT_FALSE(index.has_before(0));
+  index.set_before(0, 0.75);
+  index.set_before(1, 0.5);
+  index.set_delta(0, 3, -0.01);
+  EXPECT_TRUE(index.has_before(0));
+  EXPECT_TRUE(index.has_delta(0, 3));
+  EXPECT_FALSE(index.has_delta(0, 4));
+  EXPECT_DOUBLE_EQ(index.before(0), 0.75);
+  EXPECT_DOUBLE_EQ(index.delta(0, 3), -0.01);
+
+  index.admit(0, 1, &catalog.at(2));
+  EXPECT_FALSE(index.has_before(0));
+  EXPECT_FALSE(index.has_delta(0, 3));
+  EXPECT_TRUE(index.has_before(1));  // machine 1 untouched
+
+  index.set_before(0, 0.6);
+  EXPECT_TRUE(index.has_before(0));
+  index.detach(0, 1);
+  EXPECT_FALSE(index.has_before(0));
+}
+
+// A long cluster churn run: after every epoch the live index must agree
+// with Cluster::views() (the scratch rebuild the historical control plane
+// used), and the O(1) tenants_running counter with the per-core scan.
+TEST(PlacementIndex, TracksClusterStateAcross200Epochs) {
+  FleetConfig fc = small_config();
+  fc.churn.arrival_rate_per_sec = 10.0;
+  fc.churn.mean_lifetime_sec = 3.0;
+  fc.migrate_after = 2;  // exercise the migration path too
+  Cluster cluster(fc, sim::default_catalog());
+  const PlacementIndex* index = cluster.placement_index();
+  ASSERT_NE(index, nullptr);
+  for (int e = 0; e < 200; ++e) {
+    cluster.step_epoch();
+    const auto vs = cluster.views();
+    const auto iv = index_views(*index);
+    ASSERT_EQ(iv.size(), vs.size());
+    std::uint64_t scanned = 0;
+    for (std::size_t m = 0; m < vs.size(); ++m) {
+      EXPECT_EQ(iv[m].index, vs[m].index);
+      EXPECT_EQ(iv[m].hp, vs[m].hp);
+      EXPECT_EQ(iv[m].tenants, vs[m].tenants) << "machine " << m;
+      EXPECT_EQ(iv[m].free_cores, vs[m].free_cores) << "machine " << m;
+      scanned += vs[m].tenants.size();
+    }
+    EXPECT_EQ(cluster.tenants_running(), scanned);
+  }
+}
+
+struct RunResult {
+  std::string csv;
+  std::vector<PlacementRecord> log;
+};
+
+RunResult run_fleet(const FleetConfig& fc, std::uint64_t epochs) {
+  Cluster cluster(fc, sim::default_catalog());
+  RunResult r;
+  r.csv = epoch_csv_header() + "\n";
+  for (const auto& row : cluster.run(epochs)) {
+    r.csv += epoch_csv_row(row) + "\n";
+  }
+  r.log = cluster.placement_log();
+  return r;
+}
+
+void expect_same_log(const std::vector<PlacementRecord>& a,
+                     const std::vector<PlacementRecord>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_GT(a.size(), 0u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].tenant_id, b[i].tenant_id) << "decision " << i;
+    EXPECT_EQ(a[i].epoch, b[i].epoch) << "decision " << i;
+    EXPECT_EQ(a[i].app, b[i].app) << "decision " << i;
+    EXPECT_EQ(a[i].accepted, b[i].accepted) << "decision " << i;
+    EXPECT_EQ(a[i].migration, b[i].migration) << "decision " << i;
+    EXPECT_EQ(a[i].machine, b[i].machine) << "decision " << i;
+    EXPECT_EQ(a[i].core, b[i].core) << "decision " << i;
+  }
+}
+
+// The tentpole byte-equality contract: for every engine, the placement
+// log and the per-epoch CSV are identical with the index on and off —
+// same decisions, same tie-breaks, same RNG consumption.
+TEST(PlacementIndex, IndexOnOffIsByteIdenticalForEveryEngine) {
+  for (const auto& name : known_placements()) {
+    FleetConfig fc = small_config();
+    fc.placement = name;
+    fc.migrate_after = 2;  // the exclude path must match too
+    fc.churn.arrival_rate_per_sec = 12.0;
+    fc.placement_index = true;
+    const RunResult on = run_fleet(fc, 12);
+    fc.placement_index = false;
+    const RunResult off = run_fleet(fc, 12);
+    EXPECT_EQ(on.csv, off.csv) << "engine " << name;
+    expect_same_log(on.log, off.log);
+  }
+}
+
+// mrc-p2c decisions live on the single-threaded control plane: any worker
+// count replays the identical log and CSV.
+TEST(PlacementIndex, MrcP2cIsDeterministicAtAnyJobs) {
+  FleetConfig fc = small_config();
+  fc.placement = "mrc-p2c";
+  fc.churn.arrival_rate_per_sec = 12.0;
+  fc.jobs = 1;
+  const RunResult serial = run_fleet(fc, 10);
+  fc.jobs = 8;
+  const RunResult sharded = run_fleet(fc, 10);
+  EXPECT_EQ(serial.csv, sharded.csv);
+  expect_same_log(serial.log, sharded.log);
+  // And a rebuilt same-config fleet replays the same sampled candidates.
+  fc.jobs = 3;
+  const RunResult again = run_fleet(fc, 10);
+  EXPECT_EQ(serial.csv, again.csv);
+  expect_same_log(serial.log, again.log);
+}
+
+// mrc-p2c places sensibly: it admits tenants and its decisions stay
+// inside the fleet.
+TEST(PlacementIndex, MrcP2cPlacesWithinBounds) {
+  FleetConfig fc = small_config();
+  fc.placement = "mrc-p2c";
+  fc.churn.arrival_rate_per_sec = 12.0;
+  Cluster cluster(fc, sim::default_catalog());
+  cluster.run(8);
+  std::uint64_t accepted = 0;
+  for (const auto& rec : cluster.placement_log()) {
+    if (!rec.accepted) continue;
+    ++accepted;
+    EXPECT_LT(rec.machine, cluster.num_machines());
+    EXPECT_GE(rec.core, 1u);
+    EXPECT_LT(rec.core, fc.cores_used);
+  }
+  EXPECT_GT(accepted, 0u);
+}
+
+// The config flag alone (no env var) must also disable the index.
+TEST(PlacementIndex, ConfigFlagDisablesIndex) {
+  FleetConfig fc = small_config();
+  fc.placement_index = false;
+  Cluster cluster(fc, sim::default_catalog());
+  EXPECT_EQ(cluster.placement_index(), nullptr);
+  FleetConfig on = small_config();
+  Cluster with(on, sim::default_catalog());
+  EXPECT_NE(with.placement_index(), nullptr);
+}
+
+}  // namespace
+}  // namespace dicer::fleet
