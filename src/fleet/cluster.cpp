@@ -115,11 +115,24 @@ Cluster::Cluster(const FleetConfig& config, const sim::AppCatalog& catalog)
     throw std::invalid_argument("Cluster: epoch shorter than one quantum");
   }
 
-  placement_ =
-      make_placement(config.placement, directory_, config.seed ^ 0x9e3779b9);
-
   jobs_ = util::ThreadPool::resolve_jobs(config.jobs, "DICER_FLEET_JOBS");
-  if (jobs_ > 1) pool_ = std::make_unique<util::ThreadPool>(jobs_);
+  // Control-plane scoring shards: follow the data plane unless pinned, and
+  // collapse to serial when the feature (or its escape hatch) says so. One
+  // pool serves both planes, sized for the wider of the two.
+  const bool parallel_cp = config_.parallel_control_plane &&
+                           !sim::env_disables("DICER_NO_PARALLEL_CP");
+  cp_jobs_ = parallel_cp ? (config_.cp_jobs != 0 ? config_.cp_jobs : jobs_)
+                         : 1;
+  const unsigned pool_workers = std::max(jobs_, cp_jobs_);
+  if (pool_workers > 1) {
+    pool_ = std::make_unique<util::ThreadPool>(pool_workers);
+  }
+
+  placement_ = make_placement(config.placement, directory_,
+                              config.seed ^ 0x9e3779b9, config.p2c_choices);
+  if (cp_jobs_ > 1 && pool_) {
+    placement_->set_parallel(pool_.get(), cp_jobs_);
+  }
 
   // Boot every machine with a catalog-drawn HP. The draw consumes the rng
   // in machine-index order, so the fleet's HP mix is a pure function of
@@ -168,8 +181,8 @@ Cluster::Cluster(const FleetConfig& config, const sim::AppCatalog& catalog)
   }
   DICER_INFO << "fleet: booted " << nodes_.size() << " machines ("
              << config.policy << " policy, " << placement_->name()
-             << " placement, " << jobs_ << " jobs, " << batches_.size()
-             << " step batches)";
+             << " placement, " << jobs_ << " jobs, " << cp_jobs_
+             << " cp jobs, " << batches_.size() << " step batches)";
 }
 
 Cluster::~Cluster() = default;
@@ -390,9 +403,16 @@ void Cluster::do_migrations(EpochMetrics& m) {
 
 void Cluster::do_arrivals(double epoch_end, EpochMetrics& m) {
   auto& tr = trace::resolve(config_.tracer);
-  for (const auto& a : churn_.drain_until(epoch_end)) {
+  const auto arrivals = churn_.drain_until(epoch_end);
+
+  // The per-arrival commit body, shared by both routes below. Called
+  // strictly in arrival order either way, so counters, admissions,
+  // metrics, trace events and the placement log keep the exact sequence
+  // the historical per-arrival loop produced. Its only index mutation is
+  // the admit — the contract PlacementEngine::CommitFn requires.
+  auto commit = [&](std::size_t i, std::optional<unsigned> dest) {
+    const auto& a = arrivals[i];
     ++m.arrivals;
-    const auto dest = place_tenant(*a.app, std::nullopt);
 
     PlacementRecord rec;
     rec.tenant_id = a.id;
@@ -420,6 +440,20 @@ void Cluster::do_arrivals(double epoch_end, EpochMetrics& m) {
                {"machine", rec.accepted ? rec.machine : 0u}});
     }
     placement_log_.push_back(std::move(rec));
+  };
+
+  if (index_) {
+    // The engine owns the decide-and-commit loop over the whole queue —
+    // sequential by default, `mrc` speculates the queue's scoring across
+    // the pool and commits in order (byte-identical by DESIGN.md §5j).
+    arrival_apps_.clear();
+    arrival_apps_.reserve(arrivals.size());
+    for (const auto& a : arrivals) arrival_apps_.push_back(a.app);
+    placement_->place_arrivals(arrival_apps_, *index_, commit);
+  } else {
+    for (std::size_t i = 0; i < arrivals.size(); ++i) {
+      commit(i, place_tenant(*arrivals[i].app, std::nullopt));
+    }
   }
 }
 
@@ -449,7 +483,9 @@ void Cluster::step_all(double epoch_end) {
         fill_epoch_stat(i);
       }
     };
-    if (!pool_ || batches_.size() <= 1) {
+    // jobs_ gates the data plane on its own — the shared pool may exist
+    // purely for control-plane scoring (cp_jobs > 1, jobs == 1).
+    if (!pool_ || jobs_ <= 1 || batches_.size() <= 1) {
       for (std::size_t b = 0; b < batches_.size(); ++b) step_batch(b);
     } else {
       util::parallel_for(*pool_, batches_.size(), step_batch);
@@ -471,7 +507,7 @@ void Cluster::step_all(double epoch_end) {
     }
     fill_epoch_stat(i);
   };
-  if (!pool_ || nodes_.size() <= 1) {
+  if (!pool_ || jobs_ <= 1 || nodes_.size() <= 1) {
     for (std::size_t i = 0; i < nodes_.size(); ++i) step_node(i);
   } else {
     util::parallel_for(*pool_, nodes_.size(), step_node);
@@ -611,10 +647,22 @@ EpochMetrics Cluster::step_epoch() {
   auto* tr_timers = &trace::resolve(config_.tracer);
   trace::ScopedTimer epoch_timer("fleet.epoch", tr_timers);
   {
+    // The parent scope keeps the historical all-in "control plane" number
+    // comparable across versions; the child scopes split it into the three
+    // phases so a profile shows *which* one dominates (arrivals, usually).
     trace::ScopedTimer t("fleet.placement", tr_timers);
-    do_departures(epoch_start, m);
-    do_migrations(m);
-    do_arrivals(epoch_end, m);
+    {
+      trace::ScopedTimer td("fleet.departures", tr_timers);
+      do_departures(epoch_start, m);
+    }
+    {
+      trace::ScopedTimer tm("fleet.migrations", tr_timers);
+      do_migrations(m);
+    }
+    {
+      trace::ScopedTimer ta("fleet.arrivals", tr_timers);
+      do_arrivals(epoch_end, m);
+    }
   }
   {
     trace::ScopedTimer t("fleet.step", tr_timers);

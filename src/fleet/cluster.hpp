@@ -7,9 +7,12 @@
 // (policy::factory — DICER by default, so the fleet is ~N independent
 // copies of the paper's single-machine loop). Time advances in epochs:
 //
-//   1. control plane (single-threaded, machine-index order):
-//      departures -> SLO-triggered migrations -> arrivals via the
-//      PlacementEngine
+//   1. control plane (decisions committed single-threaded, machine-index
+//      order): departures -> SLO-triggered migrations -> arrivals via the
+//      PlacementEngine. With parallel_control_plane the *inside* of the
+//      MRC decisions fans out over the pool (sharded candidate scoring,
+//      and for `mrc` an optimistic speculate/commit arrival pipeline) —
+//      a speed knob whose decisions stay byte-identical (DESIGN.md §5j)
 //   2. data plane: every machine steps to the epoch boundary, sharded
 //      across a util::ThreadPool — machine i is task i, machines never
 //      interact mid-epoch, so any worker count replays the serial fleet
@@ -72,6 +75,21 @@ struct FleetConfig {
   /// The DICER_NO_PLACEMENT_INDEX env override (any value but "" or "0")
   /// forces the historical full-scan path regardless of this flag.
   bool placement_index = true;
+  /// Parallelise the control plane's placement scoring: candidate scans
+  /// shard over the worker pool and `mrc` pipelines each epoch's arrival
+  /// queue through speculative scoring + in-order commits. Decisions,
+  /// placement log and every export stay byte-identical at any worker
+  /// count (test- and CI-pinned). The DICER_NO_PARALLEL_CP env override
+  /// (any value but "" or "0") forces serial scoring regardless.
+  bool parallel_control_plane = true;
+  /// Control-plane scoring shards; 0 = follow the resolved `jobs`. The
+  /// worker pool is sized max(jobs, cp_jobs), so the control plane can
+  /// fan wider than the data plane (or vice versa) without a second pool.
+  unsigned cp_jobs = 0;
+  /// mrc-p2c fan-out d: candidates drawn per decision (>= 1; ignored by
+  /// the other engines). d = 1 is seeded-random placement, large d
+  /// approaches full best-fit at d scores per decision.
+  unsigned p2c_choices = MrcP2cPlacement::kChoices;
   /// Machines per data-plane batch: each stepping task advances one
   /// sim::MachineBatch (a contiguous machine slice sharing a phase table
   /// and the fused replay path) instead of a single machine. 0 = auto,
@@ -298,8 +316,13 @@ class Cluster {
   /// scan without the O(machines x cores) walk each epoch paid.
   std::uint64_t tenants_count_ = 0;
   std::vector<Node> nodes_;
-  std::unique_ptr<util::ThreadPool> pool_;  ///< null when jobs == 1
-  unsigned jobs_ = 1;
+  /// Shared worker pool for the data plane and the control plane's shard
+  /// scoring; null when max(jobs_, cp_jobs_) == 1.
+  std::unique_ptr<util::ThreadPool> pool_;
+  unsigned jobs_ = 1;     ///< data-plane stepping shards
+  unsigned cp_jobs_ = 1;  ///< control-plane scoring shards (1 = serial)
+  /// Arrival-queue scratch for place_arrivals (reused every epoch).
+  std::vector<const sim::AppProfile*> arrival_apps_;
   std::uint64_t epoch_ = 0;
   std::vector<PlacementRecord> placement_log_;
   /// Shard outputs, indexed by machine: each worker writes only its

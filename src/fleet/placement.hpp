@@ -37,11 +37,19 @@
 // for the seeded engines — the same below(open_count) draw sequence. The
 // index only changes how many times predict() runs, never its operands.
 //
-// Engines are called from the single-threaded control plane only; they
+// Engines are called from the control plane's decision thread only; they
 // may keep internal state (RNGs, reusable scoring scratch) and stay
-// deterministic for a (seed, call sequence) pair.
+// deterministic for a (seed, call sequence) pair. With set_parallel() the
+// MRC engines additionally fan the *inside* of a decision out over a
+// util::ThreadPool — contiguous machine-index shards each compute a local
+// first-strictly-better best, merged leftmost-wins in range order, so the
+// winner is bit-identical to the serial scan at any shard count — and
+// `mrc` pipelines whole arrival queues through place_arrivals():
+// speculative scoring against the current index snapshot, then strictly
+// in-order commits with version-stamped cache patching (DESIGN.md §5j).
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -51,6 +59,7 @@
 #include "fleet/placement_index.hpp"
 #include "metrics/metrics.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace dicer::fleet {
 
@@ -68,6 +77,16 @@ std::vector<MachineView> index_views(const PlacementIndex& index);
 
 class PlacementEngine {
  public:
+  /// Per-arrival commit callback for place_arrivals: invoked exactly once
+  /// per arrival, strictly in arrival order, with the decision (nullopt =
+  /// rejected). Contract: before returning, the callee admits the tenant
+  /// onto the decided machine — exactly one index mutation — or, for a
+  /// rejection, leaves the index untouched. The optimistic pipeline
+  /// audits this via PlacementIndex::mutations() and throws
+  /// std::logic_error on a violation (any other mutation would silently
+  /// invalidate its speculative scores).
+  using CommitFn = std::function<void(std::size_t, std::optional<unsigned>)>;
+
   virtual ~PlacementEngine() = default;
   virtual std::string name() const = 0;
   /// The machine index `app` should land on, or nullopt to reject.
@@ -82,6 +101,32 @@ class PlacementEngine {
   virtual std::optional<unsigned> place_indexed(
       const sim::AppProfile& app, PlacementIndex& index,
       std::optional<unsigned> exclude = std::nullopt);
+  /// Decide-and-commit one epoch's whole arrival queue against the index.
+  /// Commits happen strictly in arrival order, so the committed sequence —
+  /// decisions, admissions, RNG consumption — is identical to calling
+  /// place_indexed + commit per arrival in a loop (which is exactly what
+  /// this base implementation does). `mrc` overrides it with the
+  /// optimistic speculate/commit pipeline; the seeded engines (`random`,
+  /// `mrc-p2c`) must stay on the sequential path, because their RNG draws
+  /// range over open_count *at commit time* — speculating against the
+  /// snapshot would consume a different draw sequence.
+  virtual void place_arrivals(const std::vector<const sim::AppProfile*>& apps,
+                              PlacementIndex& index, const CommitFn& commit);
+
+  /// Enable deterministic parallel scoring: candidate scans shard over
+  /// `pool` into at most `shards` contiguous machine-index ranges (and
+  /// `mrc` speculates arrival queues the same way). A pure speed knob —
+  /// decisions are byte-identical at any (pool, shards). Null pool or
+  /// shards <= 1 keeps every engine on the serial scan. The pool must not
+  /// be the thread the engine is called from (no nested submission).
+  void set_parallel(util::ThreadPool* pool, unsigned shards) noexcept {
+    pool_ = shards > 1 ? pool : nullptr;
+    shards_ = pool_ != nullptr ? shards : 1;
+  }
+
+ protected:
+  util::ThreadPool* pool_ = nullptr;  ///< not owned; null = serial scoring
+  unsigned shards_ = 1;
 };
 
 class RandomPlacement final : public PlacementEngine {
@@ -111,30 +156,65 @@ class LeastLoadedPlacement final : public PlacementEngine {
 
 /// Shared MRC scoring core: the predict() model plus the reusable scratch
 /// both MRC engines (best-fit and p2c) drive, on views or on the index.
-/// Scratch members make scoring allocation-free after warm-up; the engines
-/// run on the single-threaded control plane, so `mutable` scratch in const
-/// scoring methods is safe.
+/// Scratch is explicit so parallel shard workers can score concurrently
+/// without sharing buffers: every worker gets its own Scratch, and shard
+/// workers only ever touch index slots inside their own contiguous
+/// machine range (so the dirty-score cache writes are per-slot
+/// single-writer). The serial entry points use the member scratch_;
+/// `mutable` is safe there because engines are driven from one decision
+/// thread at a time.
 class MrcScoringBase {
  protected:
+  /// Reusable per-worker scoring buffers (allocation-free after warm-up).
+  struct Scratch {
+    std::vector<const AppSignal*> bes;
+    std::vector<metrics::IpcPair> pairs;
+  };
+  /// One contiguous shard's scan result: the leftmost machine attaining
+  /// the maximum marginal EFU within the shard's index range — i.e. the
+  /// serial scan's first-strictly-better winner restricted to the range.
+  struct ShardBest {
+    std::optional<unsigned> machine;
+    double delta = 0.0;
+  };
+
   explicit MrcScoringBase(const AppDirectory& directory) : dir_(&directory) {}
 
   /// Predicted machine EFU for `hp_sig`'s machine with the given BE set.
   double predict(const AppSignal& hp_sig,
-                 const std::vector<const AppSignal*>& bes) const;
+                 const std::vector<const AppSignal*>& bes,
+                 Scratch& scratch) const;
   /// Marginal EFU of `app_sig` joining `view` — predict(after) minus
   /// predict(before), both computed fresh (the full-scan path).
-  double delta_for_view(const MachineView& view,
-                        const AppSignal& app_sig) const;
+  double delta_for_view(const MachineView& view, const AppSignal& app_sig,
+                        Scratch& scratch) const;
   /// The same marginal EFU off the index's dirty-score caches: reuses the
   /// cached "before" and per-app delta when the machine is clean, computes
   /// and stores them when dirty. Bit-identical to delta_for_view by
   /// predict()'s purity.
   double delta_indexed(PlacementIndex& index, unsigned machine,
-                       const AppSignal& app_sig) const;
+                       const AppSignal& app_sig, Scratch& scratch) const;
+
+  /// The serial argmax loop over index machines [begin, end): skip closed
+  /// machines and `exclude`, keep the first strictly-better delta.
+  ShardBest scan_indexed(PlacementIndex& index, std::size_t begin,
+                         std::size_t end, const AppSignal& app_sig,
+                         std::optional<unsigned> exclude,
+                         Scratch& scratch) const;
+  /// The same loop over materialised views (the full-scan path; views are
+  /// in index order, so shard s covers views [begin, end)).
+  ShardBest scan_views(const std::vector<MachineView>& views,
+                       std::size_t begin, std::size_t end,
+                       const AppSignal& app_sig, Scratch& scratch) const;
+  /// Leftmost-wins merge of per-shard bests in range order: a later shard
+  /// only displaces the running winner with a strictly greater delta —
+  /// exactly the serial scan's first-strictly-better rule crossing a shard
+  /// boundary — so the merged winner equals the single serial scan's.
+  static ShardBest merge_shards(const ShardBest* bests, std::size_t n);
 
   const AppDirectory* dir_;
-  mutable std::vector<const AppSignal*> bes_scratch_;
-  mutable std::vector<metrics::IpcPair> pairs_scratch_;
+  mutable Scratch scratch_;                     ///< serial / commit-phase
+  mutable std::vector<Scratch> shard_scratch_;  ///< one per shard worker
 };
 
 class MrcBestFitPlacement final : public PlacementEngine,
@@ -149,10 +229,32 @@ class MrcBestFitPlacement final : public PlacementEngine,
   std::optional<unsigned> place_indexed(
       const sim::AppProfile& app, PlacementIndex& index,
       std::optional<unsigned> exclude) override;
+  /// The optimistic multi-arrival pipeline (DESIGN.md §5j): speculatively
+  /// score every arrival's full candidate set concurrently against the
+  /// index as-of-now, then commit strictly in arrival order; each commit
+  /// dirties exactly one machine, whose speculative scores are patched
+  /// through the version-stamped delta caches and re-merged, so every
+  /// committed decision equals the sequential place_indexed + commit loop
+  /// bit for bit. Falls back to that loop when parallel scoring is off,
+  /// the queue is trivial, or the fleet is too small to shard.
+  void place_arrivals(const std::vector<const sim::AppProfile*>& apps,
+                      PlacementIndex& index, const CommitFn& commit) override;
 
   /// Predicted machine EFU if `app` joined `view` (exposed for tests;
   /// place() maximises the *delta* of this against the machine as-is).
   double score(const sim::AppProfile& app, const MachineView& view) const;
+
+ private:
+  /// The shard plan for an N-machine scan under the current set_parallel
+  /// settings (one shard = the serial path).
+  std::vector<util::ShardRange> plan_shards(std::size_t n) const;
+
+  /// Pipeline scratch (persistent so steady-state epochs allocate
+  /// nothing): per-arrival resolved signals and the (arrival x shard)
+  /// speculative local-best table. Single-decision parallel scans reuse
+  /// spec_scratch_ as their (1 x shard) row.
+  std::vector<const AppSignal*> sig_scratch_;
+  std::vector<ShardBest> spec_scratch_;
 };
 
 /// Power-of-d-choices over the MRC scorer: d seeded uniform draws from the
@@ -161,14 +263,19 @@ class MrcBestFitPlacement final : public PlacementEngine,
 /// as `mrc` uses in index order. Decision quality degrades gracefully with
 /// d while the per-arrival cost drops from O(N) to O(d); the classic
 /// balls-into-bins result is that d = 2 already collapses the max-load
-/// tail, and d = 5 tracks full best-fit closely on fleet EFU.
+/// tail, and d = 5 tracks full best-fit closely on fleet EFU. The fan-out
+/// is configurable (FleetConfig::p2c_choices / fleet_sim --p2c-d); d = 1
+/// degenerates to seeded-random placement, large d approaches full
+/// best-fit at d scores per decision.
 class MrcP2cPlacement final : public PlacementEngine, private MrcScoringBase {
  public:
+  /// The shipped default fan-out.
   static constexpr unsigned kChoices = 5;
 
+  /// Throws std::invalid_argument when choices == 0 (a zero-draw engine
+  /// could never place anything).
   MrcP2cPlacement(const AppDirectory& directory, std::uint64_t seed,
-                  unsigned choices = kChoices)
-      : MrcScoringBase(directory), rng_(seed), choices_(choices) {}
+                  unsigned choices = kChoices);
   std::string name() const override { return "mrc-p2c"; }
   std::optional<unsigned> place(const sim::AppProfile& app,
                                 const std::vector<MachineView>& views) override;
@@ -190,11 +297,13 @@ class MrcP2cPlacement final : public PlacementEngine, private MrcScoringBase {
 };
 
 /// Engine by name: "random", "least-loaded", "mrc" or "mrc-p2c". `seed`
-/// feeds the seeded engines; `directory` the MRC ones. Throws
-/// std::invalid_argument for unknown names.
-std::unique_ptr<PlacementEngine> make_placement(const std::string& name,
-                                                const AppDirectory& directory,
-                                                std::uint64_t seed);
+/// feeds the seeded engines; `directory` the MRC ones; `p2c_choices` is
+/// mrc-p2c's fan-out d (ignored by the other engines). Throws
+/// std::invalid_argument for unknown names, or p2c_choices == 0 when the
+/// engine is mrc-p2c.
+std::unique_ptr<PlacementEngine> make_placement(
+    const std::string& name, const AppDirectory& directory,
+    std::uint64_t seed, unsigned p2c_choices = MrcP2cPlacement::kChoices);
 std::vector<std::string> known_placements();
 
 }  // namespace dicer::fleet

@@ -109,6 +109,7 @@ void PlacementIndex::admit(unsigned machine, unsigned core,
   rebucket(machine, slot.free_cores, slot.free_cores - 1);
   --slot.free_cores;
   ++slot.version;
+  ++mutations_;
 }
 
 void PlacementIndex::detach(unsigned machine, unsigned core) {
@@ -121,6 +122,7 @@ void PlacementIndex::detach(unsigned machine, unsigned core) {
   rebucket(machine, slot.free_cores, slot.free_cores + 1);
   ++slot.free_cores;
   ++slot.version;
+  ++mutations_;
 }
 
 const sim::AppProfile* PlacementIndex::hp(unsigned machine) const {

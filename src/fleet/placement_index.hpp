@@ -91,6 +91,14 @@ class PlacementIndex {
   std::optional<unsigned> least_loaded(
       std::optional<unsigned> exclude = std::nullopt) const;
 
+  /// Monotone index-wide mutation counter: every admit/detach, on any
+  /// machine, bumps it by exactly one. The optimistic arrival pipeline
+  /// uses it to audit its commit contract — a commit callback must mutate
+  /// the index exactly once (the admit onto the decided machine) or not
+  /// at all (a rejection), and any other interleaved mutation would
+  /// silently invalidate the pipeline's speculative scores.
+  std::uint64_t mutations() const noexcept { return mutations_; }
+
   // --- dirty-score protocol (driven by the MRC engines) ---
   /// Monotone per-machine mutation counter; every admit/detach bumps it.
   std::uint64_t version(unsigned machine) const;
@@ -148,6 +156,7 @@ class PlacementIndex {
 
   const AppDirectory* dir_;
   unsigned be_slots_;
+  std::uint64_t mutations_ = 0;
   std::vector<Slot> slots_;
   OpenBits open_;
   /// by_free_[f] = machines with exactly f free cores, f in [1, be_slots]

@@ -1,0 +1,361 @@
+// The parallel control plane is a speed knob, never a result knob: with
+// sharded candidate scoring and the optimistic arrival pipeline on, every
+// decision, the placement log and every export must be byte-identical to
+// the serial scorer at any --cp-jobs — including under adversarial
+// arrival bursts where most of an epoch's speculative scores go stale.
+// (Suite name `ParallelCp` is pinned by the TSan CI shard's test regex.)
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "fleet/cluster.hpp"
+#include "fleet/placement.hpp"
+#include "fleet/placement_index.hpp"
+#include "sim/core/catalog.hpp"
+#include "telemetry/exposition.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/trace_counter_sink.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+#include "util/trace.hpp"
+
+#include "../../examples/fleet_common.hpp"
+
+namespace dicer::fleet {
+namespace {
+
+/// Scoped setenv/unsetenv (same idiom as the thread-pool tests).
+class EnvGuard {
+ public:
+  EnvGuard(const char* name, const char* value) : name_(name) {
+    ::setenv(name, value, 1);
+  }
+  ~EnvGuard() { ::unsetenv(name_); }
+
+ private:
+  const char* name_;
+};
+
+FleetConfig churny_config(const std::string& placement) {
+  FleetConfig fc;
+  fc.num_machines = 64;  // 4 shards at kMinMachinesPerShard = 16
+  fc.cores_used = 4;
+  fc.placement = placement;
+  fc.migrate_after = 1;  // migrations exercise place_indexed mid-epoch
+  fc.churn.arrival_rate_per_sec = 30.0;  // multi-arrival epochs: the
+  fc.churn.mean_lifetime_sec = 3.0;      // pipeline sees real queues
+  fc.churn.seed = 17;
+  fc.seed = 11;
+  fc.jobs = 1;  // data plane serial: the pool exists for the CP alone
+  return fc;
+}
+
+std::string log_string(const std::vector<PlacementRecord>& log) {
+  std::string out;
+  for (const auto& r : log) {
+    out += std::to_string(r.tenant_id) + ',' + std::to_string(r.epoch) +
+           ',' + r.app + ',' + (r.accepted ? '1' : '0') + ',' +
+           (r.migration ? '1' : '0') + ',' + std::to_string(r.machine) +
+           ',' + std::to_string(r.core) + '\n';
+  }
+  return out;
+}
+
+struct RunOutput {
+  std::string csv;
+  std::string log;
+  std::string prometheus;
+  std::string jsonl;
+  std::vector<EpochMetrics> rows;
+};
+
+RunOutput run_config(FleetConfig fc, std::uint64_t epochs = 5) {
+  trace::Tracer tracer;
+  telemetry::Registry registry;
+  auto sink = std::make_shared<telemetry::TraceCounterSink>(registry);
+  tracer.add_sink(sink);
+  fc.tracer = &tracer;
+  fc.metrics = &registry;
+  Cluster cluster(fc, sim::default_catalog());
+  RunOutput out;
+  for (std::uint64_t e = 0; e < epochs; ++e) {
+    out.rows.push_back(cluster.step_epoch());
+    out.csv += epoch_csv_row(out.rows.back()) + "\n";
+    out.jsonl += epoch_jsonl_row(out.rows.back()) + "\n";
+  }
+  tracer.remove_sink(sink);
+  out.log = log_string(cluster.placement_log());
+  out.prometheus = telemetry::to_prometheus(registry);
+  return out;
+}
+
+void expect_same_output(const RunOutput& a, const RunOutput& b,
+                        const std::string& what) {
+  EXPECT_EQ(a.csv, b.csv) << what;
+  EXPECT_EQ(a.log, b.log) << what;
+  EXPECT_EQ(a.prometheus, b.prometheus) << what;
+  EXPECT_EQ(a.jsonl, b.jsonl) << what;
+}
+
+// The headline equivalence: for every engine, CSV rows, the placement log
+// (decision-by-decision, migrations included) and both metrics exports are
+// byte-identical across cp_jobs 1 / 2 / 8 and with the feature off.
+TEST(ParallelCp, ByteIdenticalAcrossCpJobsAllEngines) {
+  for (const auto& engine : known_placements()) {
+    FleetConfig ref_cfg = churny_config(engine);
+    ref_cfg.parallel_control_plane = false;
+    const RunOutput ref = run_config(ref_cfg);
+    EXPECT_FALSE(ref.log.empty()) << engine;
+
+    for (const unsigned cp_jobs : {1u, 2u, 8u}) {
+      FleetConfig fc = churny_config(engine);
+      fc.cp_jobs = cp_jobs;
+      expect_same_output(ref, run_config(fc),
+                         engine + " cp_jobs=" + std::to_string(cp_jobs));
+    }
+  }
+}
+
+// Adversarial pipeline stress: arrivals far beyond capacity on a tiny
+// fleet, so machines fill and close mid-queue, rejections occur, and
+// nearly every commit invalidates later speculative scores. The committed
+// sequence must still replay the serial path byte for byte.
+TEST(ParallelCp, HighConflictArrivalBurstsStayByteIdentical) {
+  FleetConfig fc = churny_config("mrc");
+  fc.num_machines = 48;  // 3 shards
+  fc.cores_used = 3;     // 96 BE slots fleet-wide
+  fc.churn.arrival_rate_per_sec = 400.0;
+  fc.churn.mean_lifetime_sec = 2.0;
+  fc.cp_jobs = 8;
+
+  FleetConfig off = fc;
+  off.parallel_control_plane = false;
+
+  const RunOutput par = run_config(fc, 4);
+  const RunOutput ser = run_config(off, 4);
+  expect_same_output(par, ser, "high-conflict burst");
+
+  std::uint64_t rejected = 0;
+  for (const auto& r : par.rows) rejected += r.rejected;
+  EXPECT_GT(rejected, 0u) << "stress config admitted everything — no "
+                             "close-mid-queue conflicts exercised";
+}
+
+// The escape hatch: DICER_NO_PARALLEL_CP forces serial scoring no matter
+// what the config asks for, and (being a pure speed knob) changes nothing.
+TEST(ParallelCp, EnvHatchForcesSerialAndMatches) {
+  FleetConfig fc = churny_config("mrc");
+  fc.cp_jobs = 8;
+  RunOutput hatched;
+  {
+    EnvGuard guard("DICER_NO_PARALLEL_CP", "1");
+    hatched = run_config(fc);
+  }
+  FleetConfig off = churny_config("mrc");
+  off.parallel_control_plane = false;
+  expect_same_output(hatched, run_config(off), "env hatch");
+}
+
+// Shadow oracle for the speculative-score invalidation machinery: drive a
+// parallel engine and a serial engine over two identical indexes through
+// randomized detach churn, arrival bursts (place_arrivals) and interleaved
+// single decisions with an exclude — decisions and resulting occupancy
+// must track exactly.
+TEST(ParallelCp, PipelineMatchesSequentialUnderRandomChurn) {
+  const auto& catalog = sim::default_catalog();
+  const AppDirectory dir(catalog, sim::MachineConfig{});
+  constexpr unsigned kMachines = 96;
+  constexpr unsigned kBeSlots = 3;
+
+  PlacementIndex par_index(dir, kBeSlots);
+  PlacementIndex seq_index(dir, kBeSlots);
+  util::Xoshiro256 boot_rng(99);
+  for (unsigned m = 0; m < kMachines; ++m) {
+    const auto* hp = &catalog.at(boot_rng.below(catalog.size()));
+    par_index.add_machine(hp);
+    seq_index.add_machine(hp);
+  }
+
+  util::ThreadPool pool(4);
+  MrcBestFitPlacement par_engine(dir);
+  par_engine.set_parallel(&pool, 4);
+  MrcBestFitPlacement seq_engine(dir);
+
+  // Occupancy mirrored outside the indexes so detach churn can pick busy
+  // cores and commits can admit at the lowest free core.
+  auto lowest_free = [&](const PlacementIndex& index, unsigned m) {
+    for (unsigned c = 1; c <= kBeSlots; ++c) {
+      if (index.tenant(m, c) == nullptr) return c;
+    }
+    throw std::logic_error("no free core on accepted machine");
+  };
+  auto admit_commit = [&](PlacementIndex& index,
+                          std::vector<std::optional<unsigned>>& decisions) {
+    return [&](std::size_t, std::optional<unsigned> dest) {
+      decisions.push_back(dest);
+      if (dest) index.admit(*dest, lowest_free(index, *dest), &catalog.at(0));
+    };
+  };
+
+  util::Xoshiro256 rng(4242);
+  for (int round = 0; round < 25; ++round) {
+    // Random detaches (same on both indexes) reopen machines.
+    for (int d = 0; d < 8; ++d) {
+      const auto m = static_cast<unsigned>(rng.below(kMachines));
+      const auto c = 1 + static_cast<unsigned>(rng.below(kBeSlots));
+      if (par_index.tenant(m, c) != nullptr) {
+        par_index.detach(m, c);
+        seq_index.detach(m, c);
+      }
+    }
+
+    // A burst through the pipeline vs the sequential reference loop.
+    const std::size_t burst = rng.below(12);
+    std::vector<const sim::AppProfile*> apps;
+    for (std::size_t j = 0; j < burst; ++j) {
+      apps.push_back(&catalog.at(rng.below(catalog.size())));
+    }
+    std::vector<std::optional<unsigned>> par_dec, seq_dec;
+    par_engine.place_arrivals(apps, par_index,
+                              admit_commit(par_index, par_dec));
+    auto seq_commit = admit_commit(seq_index, seq_dec);
+    for (std::size_t j = 0; j < apps.size(); ++j) {
+      seq_commit(j, seq_engine.place_indexed(*apps[j], seq_index,
+                                             std::nullopt));
+    }
+    ASSERT_EQ(par_dec, seq_dec) << "round " << round;
+
+    // An interleaved excluded decision (the migration shape).
+    const auto excl = static_cast<unsigned>(rng.below(kMachines));
+    const auto* app = &catalog.at(rng.below(catalog.size()));
+    EXPECT_EQ(par_engine.place_indexed(*app, par_index, excl),
+              seq_engine.place_indexed(*app, seq_index, excl))
+        << "round " << round;
+
+    for (unsigned m = 0; m < kMachines; ++m) {
+      ASSERT_EQ(par_index.free_cores(m), seq_index.free_cores(m))
+          << "round " << round << " machine " << m;
+    }
+  }
+}
+
+// The commit contract is audited, not assumed: a callback that accepts a
+// tenant but fails to admit it (or admits twice) would silently invalidate
+// later speculative scores — the pipeline must throw instead.
+TEST(ParallelCp, PipelineAuditsCommitContract) {
+  const auto& catalog = sim::default_catalog();
+  const AppDirectory dir(catalog, sim::MachineConfig{});
+  PlacementIndex index(dir, 2);
+  for (unsigned m = 0; m < 64; ++m) {
+    index.add_machine(&catalog.at(m % catalog.size()));
+  }
+  util::ThreadPool pool(2);
+  MrcBestFitPlacement engine(dir);
+  engine.set_parallel(&pool, 4);
+
+  const std::vector<const sim::AppProfile*> apps{&catalog.at(1),
+                                                 &catalog.at(2)};
+  // Accepting commit that never admits: one mutation short.
+  EXPECT_THROW(
+      engine.place_arrivals(apps, index,
+                            [&](std::size_t, std::optional<unsigned>) {}),
+      std::logic_error);
+  // Over-eager commit: admits the tenant and a stowaway.
+  EXPECT_THROW(engine.place_arrivals(
+                   apps, index,
+                   [&](std::size_t, std::optional<unsigned> dest) {
+                     if (dest) {
+                       index.admit(*dest, 1, &catalog.at(3));
+                       index.admit(*dest, 2, &catalog.at(4));
+                     }
+                   }),
+               std::logic_error);
+}
+
+// --p2c-d is a real knob: every fan-out stays cp_jobs-invariant, and d = 1
+// must behave exactly like one seeded draw per decision.
+TEST(ParallelCp, P2cChoicesStayJobsInvariant) {
+  for (const unsigned d : {1u, 5u, 16u}) {
+    FleetConfig ref_cfg = churny_config("mrc-p2c");
+    ref_cfg.p2c_choices = d;
+    ref_cfg.parallel_control_plane = false;
+    const RunOutput ref = run_config(ref_cfg, 4);
+    for (const unsigned cp_jobs : {1u, 8u}) {
+      FleetConfig fc = churny_config("mrc-p2c");
+      fc.p2c_choices = d;
+      fc.cp_jobs = cp_jobs;
+      expect_same_output(ref, run_config(fc, 4),
+                         "d=" + std::to_string(d) +
+                             " cp_jobs=" + std::to_string(cp_jobs));
+    }
+  }
+}
+
+TEST(ParallelCp, P2cValidatesChoices) {
+  const auto& catalog = sim::default_catalog();
+  const AppDirectory dir(catalog, sim::MachineConfig{});
+  EXPECT_THROW(MrcP2cPlacement(dir, 7, 0), std::invalid_argument);
+  EXPECT_THROW(make_placement("mrc-p2c", dir, 7, 0), std::invalid_argument);
+  EXPECT_NO_THROW(make_placement("mrc-p2c", dir, 7, 1));
+  // Engines that ignore the knob accept any value, including 0.
+  EXPECT_NO_THROW(make_placement("mrc", dir, 7, 0));
+}
+
+TEST(ParallelCp, CliFlagsParseAndValidate) {
+  {
+    const char* argv[] = {"fleet_sim", "--cp-jobs", "8", "--p2c-d", "7",
+                          "--parallel-cp", "false"};
+    const util::CliArgs args(7, argv);
+    const FleetConfig fc = examples::fleet_config_from(args);
+    EXPECT_EQ(fc.cp_jobs, 8u);
+    EXPECT_EQ(fc.p2c_choices, 7u);
+    EXPECT_FALSE(fc.parallel_control_plane);
+  }
+  {
+    const char* argv[] = {"fleet_sim"};
+    const util::CliArgs args(1, argv);
+    const FleetConfig fc = examples::fleet_config_from(args);
+    EXPECT_EQ(fc.cp_jobs, 0u);
+    EXPECT_EQ(fc.p2c_choices, MrcP2cPlacement::kChoices);
+    EXPECT_TRUE(fc.parallel_control_plane);
+  }
+  for (const char* bad : {"0", "-3"}) {
+    const char* argv[] = {"fleet_sim", "--p2c-d", bad};
+    const util::CliArgs args(3, argv);
+    EXPECT_THROW(examples::fleet_config_from(args), util::CliError)
+        << "--p2c-d " << bad;
+  }
+}
+
+// The split control-plane timers: the parent scope survives (profile
+// continuity) and the three phase children record alongside it.
+TEST(ParallelCp, PhaseTimersRecorded) {
+  auto count_of = [](const std::string& label) {
+    for (const auto& [name, stat] : trace::TimerRegistry::global().snapshot()) {
+      if (name == label) return stat.count;
+    }
+    return std::uint64_t{0};
+  };
+  const std::uint64_t parent = count_of("fleet.placement");
+  const std::uint64_t departures = count_of("fleet.departures");
+  const std::uint64_t migrations = count_of("fleet.migrations");
+  const std::uint64_t arrivals = count_of("fleet.arrivals");
+
+  FleetConfig fc = churny_config("mrc");
+  fc.num_machines = 16;
+  Cluster cluster(fc, sim::default_catalog());
+  cluster.step_epoch();
+
+  EXPECT_EQ(count_of("fleet.placement"), parent + 1);
+  EXPECT_EQ(count_of("fleet.departures"), departures + 1);
+  EXPECT_EQ(count_of("fleet.migrations"), migrations + 1);
+  EXPECT_EQ(count_of("fleet.arrivals"), arrivals + 1);
+}
+
+}  // namespace
+}  // namespace dicer::fleet
